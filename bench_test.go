@@ -1,0 +1,310 @@
+// Benchmarks regenerating the paper's evaluation (§5). One benchmark per
+// table/figure; each reports results in the paper's units as custom
+// metrics (model-ms/op response times, req/model-s throughput) computed
+// by dividing wall-clock measurements by the TimeScale.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-size paper-style tables, use cmd/mspr-bench instead.
+package mspr_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mspr/internal/bench"
+	"mspr/internal/metrics"
+	"mspr/internal/workload"
+)
+
+// benchScale is the model-to-wall time factor used by the benchmarks.
+const benchScale = 0.02
+
+// benchRequests drives b.N end-client requests through a system and
+// reports response time in model milliseconds.
+func benchRequests(b *testing.B, p workload.Params, clients int) {
+	b.Helper()
+	sys, err := workload.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if clients <= 1 {
+		cs := sys.NewSession()
+		// Warm up: one request to establish the session.
+		if _, err := sys.Do(cs); err != nil {
+			b.Fatal(err)
+		}
+		var series metrics.Series
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			lat, err := sys.Do(cs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			series.Record(lat)
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		b.ReportMetric(metrics.ModelMS(series.Mean(), p.TimeScale), "model-ms/op")
+		b.ReportMetric(metrics.ModelMS(series.Max(), p.TimeScale), "max-model-ms")
+		b.ReportMetric(metrics.ThroughputPerModelSecond(series.Count(), elapsed, p.TimeScale), "req/model-s")
+		return
+	}
+	// Multi-client: spread b.N requests over the client sessions.
+	var wg sync.WaitGroup
+	var series metrics.Series
+	per := b.N / clients
+	if per == 0 {
+		per = 1
+	}
+	errs := make(chan error, clients)
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs := sys.NewSession()
+			for i := 0; i < per; i++ {
+				lat, err := sys.Do(cs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				series.Record(lat)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	b.ReportMetric(metrics.ModelMS(series.Mean(), p.TimeScale), "model-ms/op")
+	b.ReportMetric(metrics.ThroughputPerModelSecond(series.Count(), elapsed, p.TimeScale), "req/model-s")
+}
+
+// BenchmarkE1ResponseTime reproduces the Fig. 14 table: the average
+// response time of an end-client request in each of the five system
+// configurations (m = 1). Paper ordering: NoLog < StateServer <
+// LoOptimistic < Pessimistic < Psession, with LoOptimistic ≈ 30 % faster
+// than Pessimistic.
+func BenchmarkE1ResponseTime(b *testing.B) {
+	for _, mode := range bench.AllModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchRequests(b, workload.NewParams(mode, benchScale), 1)
+		})
+	}
+}
+
+// BenchmarkE2CallsSweep reproduces the Fig. 14 chart: response time as
+// ServiceMethod1 calls ServiceMethod2 m times. Pessimistic logging pays
+// two extra flushes per call; locally optimistic logging only the round
+// trip; StateServer crosses LoOptimistic near m = 4.
+func BenchmarkE2CallsSweep(b *testing.B) {
+	for _, mode := range bench.AllModes {
+		for _, m := range []int{1, 2, 4} {
+			p := workload.NewParams(mode, benchScale)
+			p.Calls = m
+			b.Run(mode.String()+"/m="+itoa(m), func(b *testing.B) {
+				benchRequests(b, p, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkE3CheckpointOverhead reproduces Fig. 15(a): session
+// checkpointing's impact on throughput at different thresholds
+// (LoOptimistic). A 64 KB threshold costs a few percent; 4 MB is
+// indistinguishable from no checkpointing.
+func BenchmarkE3CheckpointOverhead(b *testing.B) {
+	for _, th := range []int64{64 << 10, 1 << 20, 4 << 20, 0} {
+		p := workload.NewParams(workload.LoOptimistic, benchScale)
+		p.SessionCkptThreshold = th
+		name := "none"
+		if th > 0 {
+			name = itoa(int(th>>10)) + "KB"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchRequests(b, p, 1)
+		})
+	}
+}
+
+// BenchmarkE4CrashRate reproduces Fig. 15(b): throughput under injected
+// MSP2 crashes for both logging methods. Locally optimistic logging
+// keeps its lead; throughput decreases as the crash rate grows (the
+// LoOptimistic decrease is larger — it also pays SE1's orphan recovery).
+func BenchmarkE4CrashRate(b *testing.B) {
+	for _, mode := range []workload.Mode{workload.LoOptimistic, workload.Pessimistic} {
+		for _, every := range []int{0, 200, 100} {
+			p := workload.NewParams(mode, benchScale)
+			p.CrashEvery = every
+			name := mode.String() + "/crash=" + rateLabel(every)
+			b.Run(name, func(b *testing.B) {
+				benchRequests(b, p, 1)
+			})
+		}
+	}
+}
+
+// BenchmarkE5MaxResponse reproduces the Fig. 16 table: the maximum
+// response time, dominated by recovery when crashes are injected
+// (LoOptimistic's max exceeds Pessimistic's — SE1's orphan recovery
+// replays logged requests on top of MSP2's crash recovery).
+func BenchmarkE5MaxResponse(b *testing.B) {
+	cases := []struct {
+		name       string
+		mode       workload.Mode
+		crashEvery int
+		threshold  int64
+	}{
+		{"LoOptimistic/Crash", workload.LoOptimistic, 150, 1 << 20},
+		{"LoOptimistic/NoCrash", workload.LoOptimistic, 0, 1 << 20},
+		{"LoOptimistic/NoCp", workload.LoOptimistic, 0, 0},
+		{"Pessimistic/Crash", workload.Pessimistic, 150, 1 << 20},
+		{"Pessimistic/NoCrash", workload.Pessimistic, 0, 1 << 20},
+		{"Pessimistic/NoCp", workload.Pessimistic, 0, 0},
+	}
+	for _, c := range cases {
+		p := workload.NewParams(c.mode, benchScale)
+		p.CrashEvery = c.crashEvery
+		p.SessionCkptThreshold = c.threshold
+		b.Run(c.name, func(b *testing.B) {
+			benchRequests(b, p, 1)
+		})
+	}
+}
+
+// BenchmarkE6OptimalThreshold reproduces the Fig. 16 chart: with a fixed
+// crash rate, the checkpointing threshold has an interior optimum — low
+// thresholds pay checkpoint overhead, high thresholds pay long
+// orphan-recovery replays.
+func BenchmarkE6OptimalThreshold(b *testing.B) {
+	for _, th := range []int64{64 << 10, 256 << 10, 512 << 10, 1 << 20, 4 << 20} {
+		p := workload.NewParams(workload.LoOptimistic, benchScale)
+		p.CrashEvery = 150
+		p.SessionCkptThreshold = th
+		b.Run(itoa(int(th>>10))+"KB", func(b *testing.B) {
+			benchRequests(b, p, 1)
+		})
+	}
+}
+
+// BenchmarkE7MultiClient reproduces Fig. 17: throughput and response
+// time versus the number of concurrent end clients, with and without
+// batch flushing. Batch flushing helps pessimistic logging (~30 % in the
+// paper) much more than locally optimistic logging (~8 %), which needs
+// fewer flushes to begin with.
+func BenchmarkE7MultiClient(b *testing.B) {
+	for _, mode := range []workload.Mode{workload.Pessimistic, workload.LoOptimistic} {
+		for _, batch := range []bool{false, true} {
+			for _, clients := range []int{1, 4, 8} {
+				p := workload.NewParams(mode, benchScale)
+				name := mode.String()
+				if batch {
+					p.BatchFlushTimeout = 8 * time.Millisecond
+					name += "/batch"
+				} else {
+					name += "/nobatch"
+				}
+				name += "/clients=" + itoa(clients)
+				b.Run(name, func(b *testing.B) {
+					benchRequests(b, p, clients)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationParallelRecovery quantifies the paper's parallel-
+// recovery claim (§1.3, §4.3): with per-request CPU re-executed during
+// replay, recovering N sessions in parallel overlaps their work, while
+// the serial ablation pays the sum.
+func BenchmarkAblationParallelRecovery(b *testing.B) {
+	for _, serial := range []bool{false, true} {
+		name := "parallel"
+		if serial {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunAblationRecovery(
+					bench.Options{TimeScale: benchScale}, 8, 12, 2*time.Millisecond, serial)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.RecoveryMS
+			}
+			b.ReportMetric(total/float64(b.N), "recovery-model-ms")
+		})
+	}
+}
+
+// BenchmarkAblationSharedSize quantifies value logging's dependence on
+// shared-state size (§3.3): the paper's regime (128 B) logs little; at
+// tens of kilobytes per value, logging every read by value dominates.
+func BenchmarkAblationSharedSize(b *testing.B) {
+	for _, size := range []int{128, 8 << 10, 32 << 10} {
+		b.Run(itoa(size)+"B", func(b *testing.B) {
+			p := workload.NewParams(workload.LoOptimistic, benchScale)
+			p.SharedSize = size
+			benchRequests(b, p, 1)
+		})
+	}
+}
+
+// BenchmarkAblationDomainSize quantifies dependency-vector growth with
+// service-domain size (§3.1): a request relayed through K chained MSPs
+// carries a K-entry DV, growing message and log-record overhead — the
+// reason optimistic logging stays confined to small service domains.
+func BenchmarkAblationDomainSize(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run("depth="+itoa(depth), func(b *testing.B) {
+			var mean, logBytes float64
+			runs := 0
+			for i := 0; i < b.N; i += 50 {
+				rows, err := bench.RunAblationDomainSize(
+					bench.Options{TimeScale: benchScale, Requests: 50}, []int{depth})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean += rows[0].MeanMS
+				logBytes += rows[0].LogBytesPerOp
+				runs++
+			}
+			b.ReportMetric(mean/float64(runs), "model-ms/op")
+			b.ReportMetric(logBytes/float64(runs), "log-B/op")
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func rateLabel(every int) string {
+	if every == 0 {
+		return "none"
+	}
+	return "1per" + itoa(every)
+}

@@ -1,0 +1,107 @@
+// Command mspr-bench regenerates the paper's evaluation tables and
+// figures (§5) on the simulated testbed.
+//
+// Usage:
+//
+//	mspr-bench [-scale 0.02] [-requests 2000] [e1|e2|e3|e4|e5|e6|e7|all ...]
+//
+// Results are reported in model milliseconds: wall-clock time divided by
+// the time scale, directly comparable to the paper's numbers in shape
+// (orderings, ratios, crossovers), though not in absolute value — the
+// substrate is a simulator, not the authors' testbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mspr/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "model-to-wall-clock time scale (1.0 = paper wall-clock)")
+	requests := flag.Int("requests", 2000, "end-client requests per configuration")
+	crashEvery := flag.Int("crash-every", 500, "crash injection interval for E5/E6 (requests per crash)")
+	flag.Parse()
+
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"all"}
+	}
+	run := make(map[string]bool)
+	for _, e := range experiments {
+		if e == "all" {
+			for _, k := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "ablations"} {
+				run[k] = true
+			}
+			continue
+		}
+		run[e] = true
+	}
+
+	o := bench.Options{TimeScale: *scale, Requests: *requests, W: os.Stdout}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mspr-bench:", err)
+		os.Exit(1)
+	}
+
+	if run["e1"] {
+		if _, err := bench.RunE1(o); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if run["e2"] {
+		if _, err := bench.RunE2(o, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if run["e3"] {
+		if _, err := bench.RunE3(o, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if run["e4"] {
+		if _, err := bench.RunE4(o, []int{0, *crashEvery * 2, *crashEvery * 3 / 2, *crashEvery}); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if run["e5"] {
+		if _, err := bench.RunE5(o, *crashEvery); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if run["e6"] {
+		if _, err := bench.RunE6(o, *crashEvery, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if run["e7"] {
+		if _, err := bench.RunE7(o, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if run["ablations"] {
+		if _, _, err := bench.RunAblationParallelRecovery(o, 16, 25); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		if _, err := bench.RunAblationSharedSize(o, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		abo := o
+		abo.Requests = o.Requests / 4
+		if _, err := bench.RunAblationDomainSize(abo, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+}

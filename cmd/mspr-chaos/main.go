@@ -1,0 +1,196 @@
+// Command mspr-chaos storm-tests the full stack: the paper's two-MSP
+// service-domain workload plus a transactional resource manager, under
+// randomized crash-restarts of all three processes and a lossy,
+// duplicating network. It verifies the recovery infrastructure's
+// promises end to end:
+//
+//   - every session's operation counter advances exactly once per op,
+//   - the shared in-memory total equals the number of operations,
+//   - the durable transactional ledger equals the number of operations.
+//
+// Exit status is non-zero on any violation.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"mspr/internal/chaos"
+	"mspr/internal/core"
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+	"mspr/internal/txmsp"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func asU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func main() {
+	actors := flag.Int("actors", 6, "concurrent client sessions")
+	ops := flag.Int("ops", 40, "operations per actor")
+	faultEvery := flag.Int("fault-every", 30, "operations between crash-restarts (0 = none)")
+	seed := flag.Int64("seed", 1, "deterministic storm seed")
+	loss := flag.Float64("loss", 0.03, "network loss rate")
+	dup := flag.Float64("dup", 0.03, "network duplication rate")
+	scale := flag.Float64("scale", 0.005, "time scale")
+	flag.Parse()
+
+	net := simnet.New(simnet.Config{
+		OneWay: 1798 * time.Microsecond, TimeScale: *scale,
+		LossRate: *loss, DupRate: *dup, Seed: *seed,
+	})
+
+	// The transactional resource manager (durable ledger).
+	rmCfg := txmsp.Config{ID: "ledger", Net: net,
+		Disk: simdisk.NewDisk(simdisk.DefaultModel(*scale)), TimeScale: *scale}
+	rm, err := txmsp.Start(rmCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// front calls back (intra-domain, optimistic logging) and records the
+	// op in the durable ledger (cross-domain, pessimistic + testable tx).
+	dom := core.NewDomain("storm", 1798*time.Microsecond, *scale)
+	backDef := core.Definition{
+		Methods: map[string]core.Handler{
+			"mark": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
+				tot, err := ctx.ReadShared("total")
+				if err != nil {
+					return nil, err
+				}
+				n := asU64(tot) + 1
+				return u64(n), ctx.WriteShared("total", u64(n))
+			},
+			"total": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
+				return ctx.ReadShared("total")
+			},
+		},
+		Shared: []core.SharedDef{{Name: "total", Initial: u64(0)}},
+	}
+	frontDef := core.Definition{
+		Methods: map[string]core.Handler{
+			"op": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
+				if _, err := ctx.Call("back", "mark", nil); err != nil {
+					return nil, err
+				}
+				if _, err := txmsp.Exec(ctx, "ledger", txmsp.Tx{Ops: []txmsp.Op{
+					{Kind: txmsp.OpAdd, Key: "count", Value: u64(1)},
+				}}); err != nil {
+					return nil, err
+				}
+				n := asU64(ctx.GetVar("n")) + 1
+				ctx.SetVar("n", u64(n))
+				return u64(n), nil
+			},
+		},
+	}
+	mkCfg := func(id string, def core.Definition) core.Config {
+		cfg := core.NewConfig(id, dom, simdisk.NewDisk(simdisk.DefaultModel(*scale)), net, def)
+		cfg.SessionCkptThreshold = 64 << 10
+		cfg.TimeScale = *scale
+		return cfg
+	}
+	backCfg := mkCfg("back", backDef)
+	frontCfg := mkCfg("front", frontDef)
+	back, err := core.Start(backCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	front, err := core.Start(frontCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client := core.NewClient("storm-client", net, rpc.DefaultCallOptions(*scale))
+	defer client.Close()
+
+	var procMu sync.Mutex
+	faults := []chaos.Fault{
+		chaos.RestartFault("crash-front", &procMu, func() error {
+			front.Crash()
+			var err error
+			front, err = core.Start(frontCfg)
+			return err
+		}),
+		chaos.RestartFault("crash-back", &procMu, func() error {
+			back.Crash()
+			var err error
+			back, err = core.Start(backCfg)
+			return err
+		}),
+		chaos.RestartFault("crash-ledger", &procMu, func() error {
+			rm.Crash()
+			var err error
+			rm, err = txmsp.Start(rmCfg)
+			return err
+		}),
+	}
+
+	w := chaos.Workload{
+		Actors:      *actors,
+		OpsPerActor: *ops,
+		NewActor: func(i int) (func(int) error, func()) {
+			sess := client.Session("front")
+			return func(n int) error {
+				out, err := sess.Call("op", nil)
+				if err != nil {
+					return err
+				}
+				if asU64(out) != uint64(n) {
+					return fmt.Errorf("session counter %d, want %d", asU64(out), n)
+				}
+				return nil
+			}, nil
+		},
+		FinalCheck: func() error {
+			want := uint64(*actors * *ops)
+			sess := client.Session("front")
+			// Shared in-memory total at the back MSP.
+			out, err := sess.Call("op", nil) // one extra op to flush pipelines
+			if err != nil {
+				return err
+			}
+			_ = out
+			audit := client.Session("back")
+			tot, err := audit.Call("total", nil)
+			if err != nil {
+				return err
+			}
+			if asU64(tot) != want+1 {
+				return fmt.Errorf("shared total %d, want %d", asU64(tot), want+1)
+			}
+			procMu.Lock()
+			ledger, _ := rm.Read("count")
+			procMu.Unlock()
+			if asU64(ledger) != want+1 {
+				return fmt.Errorf("durable ledger %d, want %d", asU64(ledger), want+1)
+			}
+			return nil
+		},
+	}
+
+	rep := chaos.Run(w, faults, chaos.Options{Seed: *seed, FaultEvery: *faultEvery})
+	fmt.Println(rep)
+	for _, err := range rep.Errors {
+		fmt.Fprintln(os.Stderr, " -", err)
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}

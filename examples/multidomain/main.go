@@ -1,0 +1,119 @@
+// Multidomain: locally optimistic logging across service-domain
+// boundaries (§1.3, §3.1).
+//
+// A travel-agent MSP composes an airline MSP (same service provider,
+// same service domain — fast and reliable links) and a hotel MSP run by
+// a different organization (separate domain). Inside the domain,
+// requests carry dependency vectors and need no log flush; the call to
+// the hotel crosses a domain boundary, so the agent performs a
+// distributed log flush before sending — pessimistic logging that keeps
+// the domains recovery-independent.
+//
+// The example books trips, prints each MSP's log-flush counts to make
+// the asymmetry visible, then crashes the airline mid-flight and shows
+// the agent's session performing orphan recovery transparently.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mspr"
+)
+
+func airline() mspr.Definition {
+	return mspr.Definition{
+		Methods: map[string]mspr.Handler{
+			"reserveSeat": func(ctx *mspr.Ctx, trip []byte) ([]byte, error) {
+				n := len(ctx.GetVar("seats")) + 1
+				ctx.SetVar("seats", make([]byte, n))
+				return []byte(fmt.Sprintf("seat %d on flight to %s", n, trip)), nil
+			},
+		},
+	}
+}
+
+func hotel() mspr.Definition {
+	return mspr.Definition{
+		Methods: map[string]mspr.Handler{
+			"reserveRoom": func(ctx *mspr.Ctx, trip []byte) ([]byte, error) {
+				n := len(ctx.GetVar("rooms")) + 1
+				ctx.SetVar("rooms", make([]byte, n))
+				return []byte(fmt.Sprintf("room %d in %s", n, trip)), nil
+			},
+		},
+	}
+}
+
+func agent() mspr.Definition {
+	return mspr.Definition{
+		Methods: map[string]mspr.Handler{
+			"bookTrip": func(ctx *mspr.Ctx, dest []byte) ([]byte, error) {
+				seat, err := ctx.Call("airline", "reserveSeat", dest) // same domain: optimistic
+				if err != nil {
+					return nil, err
+				}
+				room, err := ctx.Call("hotel", "reserveRoom", dest) // other domain: pessimistic
+				if err != nil {
+					return nil, err
+				}
+				trips := append(ctx.GetVar("trips"), byte(len(dest)))
+				ctx.SetVar("trips", trips)
+				return []byte(fmt.Sprintf("trip #%d booked: %s, %s", len(trips), seat, room)), nil
+			},
+		},
+	}
+}
+
+func main() {
+	sim := mspr.NewSim(0.02)
+	travelDomain := sim.NewDomain("travel-co") // agent + airline
+	hotelDomain := sim.NewDomain("hotel-corp") // hotel alone
+	agentCfg := sim.NewConfig("agent", travelDomain, agent())
+	airlineCfg := sim.NewConfig("airline", travelDomain, airline())
+	hotelCfg := sim.NewConfig("hotel", hotelDomain, hotel())
+
+	if _, err := mspr.Start(agentCfg); err != nil {
+		log.Fatal(err)
+	}
+	air, err := mspr.Start(airlineCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mspr.Start(hotelCfg); err != nil {
+		log.Fatal(err)
+	}
+
+	client := sim.NewClient("traveller")
+	defer client.Close()
+	sess := client.Session("agent")
+
+	base := [3]int64{flushes(agentCfg), flushes(airlineCfg), flushes(hotelCfg)}
+	for _, dest := range []string{"Beijing", "Boston", "Redmond"} {
+		out, err := sess.Call("bookTrip", []byte(dest))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	}
+	fmt.Printf("log flushes per trip — agent: %.1f, airline: %.1f (same domain, optimistic), hotel: %.1f (cross-domain, pessimistic)\n",
+		float64(flushes(agentCfg)-base[0])/3, float64(flushes(airlineCfg)-base[1])/3, float64(flushes(hotelCfg)-base[2])/3)
+
+	fmt.Println("--- airline crashes with unflushed log records ---")
+	air.Crash()
+	if _, err := mspr.Start(airlineCfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- airline recovered; the agent session that depended on its lost state")
+	fmt.Println("    performs orphan recovery transparently and the booking still happens once ---")
+	out, err := sess.Call("bookTrip", []byte("Shanghai"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// flushes reads a configuration's disk write counter.
+func flushes(cfg mspr.Config) int64 {
+	return cfg.Disk.Stats().Writes
+}

@@ -1,0 +1,102 @@
+// Quickstart: a recoverable counter service.
+//
+// The service keeps a per-session counter in session state and a global
+// counter in shared state. We run a few requests, crash the server —
+// losing every byte of its in-memory state — restart it, and keep
+// calling: both counters continue exactly where they left off, and no
+// increment is ever lost or applied twice.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"mspr"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func asU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func counterService() mspr.Definition {
+	return mspr.Definition{
+		Methods: map[string]mspr.Handler{
+			// increment bumps the session-private counter and the shared
+			// global counter, returning "mine/global".
+			"increment": func(ctx *mspr.Ctx, arg []byte) ([]byte, error) {
+				mine := asU64(ctx.GetVar("count")) + 1
+				ctx.SetVar("count", u64(mine))
+
+				g, err := ctx.ReadShared("global")
+				if err != nil {
+					return nil, err
+				}
+				global := asU64(g) + 1
+				if err := ctx.WriteShared("global", u64(global)); err != nil {
+					return nil, err
+				}
+				return []byte(fmt.Sprintf("%d/%d", mine, global)), nil
+			},
+		},
+		Shared: []mspr.SharedDef{{Name: "global", Initial: u64(0)}},
+	}
+}
+
+func main() {
+	sim := mspr.NewSim(0.02) // run 50× faster than the paper's wall clock
+	dom := sim.NewDomain("quickstart")
+	cfg := sim.NewConfig("counter", dom, counterService())
+
+	srv, err := mspr.Start(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client := sim.NewClient("client")
+	defer client.Close()
+	alice := client.Session("counter")
+	bob := client.Session("counter")
+
+	fmt.Println("-- before the crash --")
+	for i := 0; i < 3; i++ {
+		a, err := alice.Call("increment", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := bob.Call("increment", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alice: %s   bob: %s\n", a, b)
+	}
+
+	fmt.Println("-- crash! all in-memory state lost --")
+	srv.Crash()
+	if _, err := mspr.Start(cfg); err != nil { // same config, same disk
+		log.Fatal(err)
+	}
+	fmt.Println("-- restarted; log-based recovery restored every session --")
+
+	for i := 0; i < 3; i++ {
+		a, err := alice.Call("increment", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := bob.Call("increment", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alice: %s   bob: %s\n", a, b)
+	}
+	fmt.Println("every count continued exactly once — no loss, no duplicates")
+}

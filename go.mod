@@ -1,0 +1,3 @@
+module mspr
+
+go 1.22

@@ -1,0 +1,313 @@
+// Package baselines implements the paper's comparison configurations
+// (§5.2):
+//
+//   - NoLog — no logging and recovery infrastructure at all (run the core
+//     engine with Logging disabled; no wrapper needed).
+//   - Psession — persistent sessions: the server stores session state in
+//     a local DBMS, fetching it with a read transaction before each
+//     request and writing it back with a write transaction afterwards.
+//   - StateServer — session states held in memory by a state server on a
+//     different computer: one fetch round trip and one store round trip
+//     per request, no disk.
+//
+// Both commercial approaches recover (or survive) session state only;
+// they support neither shared in-memory state nor exactly-once execution
+// across a crash — which is exactly the gap the paper's log-based
+// recovery closes.
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mspr/internal/core"
+	"mspr/internal/sdb"
+	"mspr/internal/simnet"
+)
+
+// encodeVars serializes a session-variable map deterministically.
+func encodeVars(m map[string][]byte) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(keys)))
+	for _, k := range keys {
+		out = binary.AppendUvarint(out, uint64(len(k)))
+		out = append(out, k...)
+		out = binary.AppendUvarint(out, uint64(len(m[k])))
+		out = append(out, m[k]...)
+	}
+	return out
+}
+
+// decodeVars parses encodeVars output; corrupt input yields an empty map
+// (a baseline has no better recovery story than starting fresh).
+func decodeVars(b []byte) map[string][]byte {
+	m := make(map[string][]byte)
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return m
+	}
+	b = b[k:]
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(b)
+		if k <= 0 || uint64(len(b)-k) < l {
+			return m
+		}
+		key := string(b[k : k+int(l)])
+		b = b[k+int(l):]
+		l, k = binary.Uvarint(b)
+		if k <= 0 || uint64(len(b)-k) < l {
+			return m
+		}
+		m[key] = append([]byte(nil), b[k:k+int(l)]...)
+		b = b[k+int(l):]
+	}
+	return m
+}
+
+// WrapPsession returns a Definition whose methods persist session state
+// in store: a read transaction fetches it before the handler runs and a
+// write transaction stores it afterwards — two database transactions per
+// request, the cost structure of the paper's Psession configuration.
+func WrapPsession(def core.Definition, store *sdb.Store) core.Definition {
+	wrapped := core.Definition{
+		Methods: make(map[string]core.Handler, len(def.Methods)),
+		Shared:  def.Shared,
+	}
+	for name, h := range def.Methods {
+		h := h
+		wrapped.Methods[name] = func(ctx *core.Ctx, arg []byte) ([]byte, error) {
+			key := "sess/" + ctx.SessionID()
+			rt := store.Begin(false)
+			blob, ok, err := rt.Get(key)
+			if err != nil {
+				return nil, fmt.Errorf("psession read txn: %w", err)
+			}
+			_ = rt.Commit()
+			if ok {
+				ctx.ReplaceVars(decodeVars(blob))
+			}
+			out, herr := h(ctx, arg)
+			wt := store.Begin(true)
+			if err := wt.Put(key, encodeVars(ctx.VarsSnapshot())); err != nil {
+				return nil, fmt.Errorf("psession write txn: %w", err)
+			}
+			if err := wt.Commit(); err != nil {
+				return nil, fmt.Errorf("psession commit: %w", err)
+			}
+			return out, herr
+		}
+	}
+	return wrapped
+}
+
+// ssOp is the state-server wire protocol operation.
+type ssOp byte
+
+const (
+	ssFetch ssOp = iota
+	ssStore
+)
+
+// ssRequest and ssReply are the state-server protocol envelopes.
+type ssRequest struct {
+	ID      uint64
+	Op      ssOp
+	Session string
+	Blob    []byte
+	From    simnet.Addr
+}
+
+type ssReply struct {
+	ID   uint64
+	Blob []byte
+}
+
+// StateServer holds session states in memory on behalf of MSPs, like the
+// commercial web-server configurations of §5.2. It provides no
+// durability: if the state server itself crashes, the states are gone
+// (the paper makes the same observation).
+type StateServer struct {
+	ep   *simnet.Endpoint
+	stop chan struct{}
+
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// NewStateServer starts a state server at addr.
+func NewStateServer(addr string, net *simnet.Network) *StateServer {
+	ss := &StateServer{
+		ep:   net.Endpoint(simnet.Addr(addr)),
+		stop: make(chan struct{}),
+		data: make(map[string][]byte),
+	}
+	go ss.serve()
+	return ss
+}
+
+func (ss *StateServer) serve() {
+	for {
+		select {
+		case <-ss.stop:
+			return
+		case m := <-ss.ep.Recv():
+			req, ok := m.Payload.(ssRequest)
+			if !ok {
+				continue
+			}
+			rep := ssReply{ID: req.ID}
+			ss.mu.Lock()
+			switch req.Op {
+			case ssFetch:
+				rep.Blob = append([]byte(nil), ss.data[req.Session]...)
+			case ssStore:
+				ss.data[req.Session] = append([]byte(nil), req.Blob...)
+			}
+			ss.mu.Unlock()
+			ss.ep.Send(req.From, rep)
+		}
+	}
+}
+
+// Len returns the number of stored session states.
+func (ss *StateServer) Len() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.data)
+}
+
+// Close stops the state server.
+func (ss *StateServer) Close() { close(ss.stop) }
+
+// StateClient is an MSP's connection to a StateServer. It is safe for
+// concurrent use by the MSP's worker threads.
+type StateClient struct {
+	ep        *simnet.Endpoint
+	server    simnet.Addr
+	timeScale float64
+	stop      chan struct{}
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan ssReply
+}
+
+// NewStateClient creates a client at addr talking to the state server.
+func NewStateClient(addr, server string, net *simnet.Network, timeScale float64) *StateClient {
+	c := &StateClient{
+		ep:        net.Endpoint(simnet.Addr(addr)),
+		server:    simnet.Addr(server),
+		timeScale: timeScale,
+		stop:      make(chan struct{}),
+		pending:   make(map[uint64]chan ssReply),
+	}
+	go c.dispatch()
+	return c
+}
+
+func (c *StateClient) dispatch() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case m := <-c.ep.Recv():
+			rep, ok := m.Payload.(ssReply)
+			if !ok {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.pending[rep.ID]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- rep:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// Close stops the client's dispatcher.
+func (c *StateClient) Close() { close(c.stop) }
+
+// roundTrip performs one request/reply exchange, resending on timeout.
+func (c *StateClient) roundTrip(req ssRequest) ssReply {
+	c.mu.Lock()
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan ssReply, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+	}()
+	req.From = c.ep.Addr()
+	resend := time.Duration(float64(500*time.Millisecond) * c.timeScale)
+	if resend <= 0 {
+		resend = time.Millisecond
+	}
+	for {
+		c.ep.Send(c.server, req)
+		select {
+		case rep := <-ch:
+			return rep
+		case <-time.After(resend):
+		}
+	}
+}
+
+// Fetch retrieves a session's state from the state server.
+func (c *StateClient) Fetch(session string) map[string][]byte {
+	rep := c.roundTrip(ssRequest{Op: ssFetch, Session: session})
+	return decodeVars(rep.Blob)
+}
+
+// Store saves a session's state to the state server, waiting for the
+// acknowledgement.
+func (c *StateClient) Store(session string, vars map[string][]byte) {
+	c.roundTrip(ssRequest{Op: ssStore, Session: session, Blob: encodeVars(vars)})
+}
+
+// StoreAsync saves a session's state without waiting for the
+// acknowledgement — the replication style of the commercial web servers
+// the paper compares against, and the behaviour that reproduces the
+// paper's measured StateServer response times (≈ NoLog plus one fetch
+// round trip per MSP).
+func (c *StateClient) StoreAsync(session string, vars map[string][]byte) {
+	c.ep.Send(c.server, ssRequest{Op: ssStore, Session: session, Blob: encodeVars(vars), From: c.ep.Addr()})
+}
+
+// WrapStateServer returns a Definition whose methods fetch session state
+// from the state server before running and store it back afterwards —
+// two message round trips per request and no disk, the cost structure of
+// the paper's StateServer configuration.
+func WrapStateServer(def core.Definition, sc *StateClient) core.Definition {
+	wrapped := core.Definition{
+		Methods: make(map[string]core.Handler, len(def.Methods)),
+		Shared:  def.Shared,
+	}
+	for name, h := range def.Methods {
+		h := h
+		wrapped.Methods[name] = func(ctx *core.Ctx, arg []byte) ([]byte, error) {
+			st := sc.Fetch(ctx.SessionID())
+			if len(st) > 0 {
+				ctx.ReplaceVars(st)
+			}
+			out, herr := h(ctx, arg)
+			sc.StoreAsync(ctx.SessionID(), ctx.VarsSnapshot())
+			return out, herr
+		}
+	}
+	return wrapped
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mspr/internal/workload"
+)
+
+// Shape tests: run each experiment small and assert the paper's
+// qualitative results (orderings and trends), which must hold at any
+// scale. Margins are generous — the simulator shares one CPU with the
+// test harness.
+
+func opts() Options {
+	return Options{TimeScale: 0.02, Requests: 150}
+}
+
+func modeStats(t *testing.T, rows []E1Result, mode workload.Mode) RunStats {
+	t.Helper()
+	for _, r := range rows {
+		if r.Mode == mode {
+			return r.Stats
+		}
+	}
+	t.Fatalf("mode %v missing from results", mode)
+	return RunStats{}
+}
+
+// skipUnderRace skips timing-shape assertions whose margins are smaller
+// than the race detector's per-request overhead.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("fine-grained timing shapes are unreliable under -race")
+	}
+}
+
+func TestE1Ordering(t *testing.T) {
+	skipUnderRace(t)
+	var sb strings.Builder
+	o := opts()
+	o.W = &sb
+	rows, err := RunE1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nolog := modeStats(t, rows, workload.NoLog).MeanMS
+	lo := modeStats(t, rows, workload.LoOptimistic).MeanMS
+	pe := modeStats(t, rows, workload.Pessimistic).MeanMS
+	ps := modeStats(t, rows, workload.Psession).MeanMS
+	ss := modeStats(t, rows, workload.StateServer).MeanMS
+	if !(nolog < lo && nolog < pe && nolog < ps && nolog < ss) {
+		t.Fatalf("NoLog (%0.1f) must be fastest: lo=%0.1f pe=%0.1f ps=%0.1f ss=%0.1f", nolog, lo, pe, ps, ss)
+	}
+	if lo >= pe {
+		t.Fatalf("LoOptimistic (%0.1f) must beat Pessimistic (%0.1f) — the paper's headline result", lo, pe)
+	}
+	if pe >= ps {
+		t.Fatalf("Pessimistic (%0.1f) must beat Psession (%0.1f) at m=1", pe, ps)
+	}
+	if ss >= lo {
+		t.Fatalf("StateServer (%0.1f) must beat LoOptimistic (%0.1f) at m=1 (paper Fig. 14)", ss, lo)
+	}
+	if !strings.Contains(sb.String(), "LoOptimistic") {
+		t.Fatal("table output missing")
+	}
+}
+
+func TestE2Slopes(t *testing.T) {
+	skipUnderRace(t)
+	o := opts()
+	o.Requests = 100
+	rows, err := RunE2(o, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := func(mode workload.Mode) float64 {
+		for _, r := range rows {
+			if r.Mode == mode {
+				return (r.MeanMS[1] - r.MeanMS[0]) / 2
+			}
+		}
+		t.Fatalf("mode %v missing", mode)
+		return 0
+	}
+	loSlope := slope(workload.LoOptimistic)
+	peSlope := slope(workload.Pessimistic)
+	// Pessimistic pays two extra flushes (≈16 model ms) per call; locally
+	// optimistic only the round trip (≈4 ms).
+	if peSlope < loSlope*1.5 {
+		t.Fatalf("pessimistic slope %0.1f must far exceed locally optimistic slope %0.1f", peSlope, loSlope)
+	}
+}
+
+func TestE3CheckpointingCostsLittle(t *testing.T) {
+	o := opts()
+	rows, err := RunE3(o, []int64{64 << 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, none := rows[0].Throughput, rows[1].Throughput
+	if small <= 0 || none <= 0 {
+		t.Fatalf("throughputs must be positive: %0.1f, %0.1f", small, none)
+	}
+	// Even an aggressive 64 KB threshold costs only a modest fraction.
+	if small < none*0.6 {
+		t.Fatalf("64KB checkpointing too costly: %0.1f vs %0.1f without", small, none)
+	}
+}
+
+func TestE4CrashesInjected(t *testing.T) {
+	o := opts()
+	o.Requests = 120
+	rows, err := RunE4(o, []int{0, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Throughput <= 0 {
+			t.Fatalf("%v crashEvery=%d: zero throughput", r.Mode, r.CrashEvery)
+		}
+		if r.CrashEvery > 0 && r.Crashes == 0 {
+			t.Fatalf("%v: no crashes injected at rate 1/%d", r.Mode, r.CrashEvery)
+		}
+	}
+	// LoOptimistic beats Pessimistic with and without crashes.
+	if rows[0].Throughput <= rows[2].Throughput {
+		t.Fatalf("LoOptimistic (%0.1f) must out-throughput Pessimistic (%0.1f)",
+			rows[0].Throughput, rows[2].Throughput)
+	}
+}
+
+func TestE5CrashDominatesMax(t *testing.T) {
+	// Maximum response time is inherently noisy on a shared host (a
+	// single OS scheduling hiccup lands in the max); allow one retry.
+	o := opts()
+	o.Requests = 120
+	var lastErr string
+	for attempt := 0; attempt < 2; attempt++ {
+		res, err := RunE5(o, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case res.LoCrash <= res.LoNoCrash:
+			lastErr = "crash max must exceed no-crash max (LoOptimistic)"
+		case res.PeCrash <= res.PeNoCrash:
+			lastErr = "crash max must exceed no-crash max (Pessimistic)"
+		default:
+			return
+		}
+	}
+	t.Fatal(lastErr)
+}
+
+func TestE6RunsAllThresholds(t *testing.T) {
+	o := opts()
+	o.Requests = 100
+	rows, err := RunE6(o, 25, []int64{64 << 10, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Throughput <= 0 || rows[1].Throughput <= 0 {
+		t.Fatalf("unexpected results: %+v", rows)
+	}
+}
+
+func TestE7MultiClientScales(t *testing.T) {
+	// Concurrency scaling needs spare CPU; the race detector consumes it.
+	skipUnderRace(t)
+	o := opts()
+	o.Requests = 160
+	rows, err := RunE7(o, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(mode workload.Mode, batch bool, clients int) E7Result {
+		for _, r := range rows {
+			if r.Mode == mode && r.Batch == batch && r.Clients == clients {
+				return r
+			}
+		}
+		t.Fatalf("missing result %v batch=%v c=%d", mode, batch, clients)
+		return E7Result{}
+	}
+	// More clients must increase throughput for both logging methods.
+	lo1 := find(workload.LoOptimistic, false, 1)
+	lo4 := find(workload.LoOptimistic, false, 4)
+	if lo4.Throughput <= lo1.Throughput {
+		t.Fatalf("LoOptimistic throughput did not scale: %0.1f → %0.1f", lo1.Throughput, lo4.Throughput)
+	}
+	pe1 := find(workload.Pessimistic, false, 1)
+	pe4 := find(workload.Pessimistic, false, 4)
+	if pe4.Throughput <= pe1.Throughput {
+		t.Fatalf("Pessimistic throughput did not scale: %0.1f → %0.1f", pe1.Throughput, pe4.Throughput)
+	}
+	// LoOptimistic stays ahead at 4 clients.
+	if lo4.Throughput <= pe4.Throughput {
+		t.Fatalf("LoOptimistic (%0.1f) must out-throughput Pessimistic (%0.1f) at 4 clients",
+			lo4.Throughput, pe4.Throughput)
+	}
+}

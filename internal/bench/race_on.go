@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active: its 5-20×
+// per-operation overhead adds real milliseconds to every simulated
+// request, swamping the few-model-ms margins the fine-grained timing
+// shape tests assert on. Those tests skip themselves under -race (the
+// functional suites all still run).
+const raceEnabled = true

@@ -1,0 +1,182 @@
+// Package chaos is a reusable fault-injection harness for recoverable
+// systems built on this repository: it drives a concurrent workload of
+// actors while firing crash-restart faults on the system's processes,
+// then verifies the survivor invariants (exactly-once execution,
+// shared-state consistency) that the recovery infrastructure promises.
+//
+// The examples and integration tests each hand-rolled a variant of this
+// loop; the package extracts it so new services can be storm-tested in a
+// few lines (see cmd/mspr-chaos).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workload describes the load to apply.
+type Workload struct {
+	// Actors is the number of concurrent actors (each typically owning
+	// one session).
+	Actors int
+	// OpsPerActor is how many operations each actor performs.
+	OpsPerActor int
+	// NewActor builds actor i: op runs the n-th (1-based) operation and
+	// returns an error on any correctness violation; done (optional)
+	// releases the actor's resources.
+	NewActor func(i int) (op func(n int) error, done func())
+	// FinalCheck (optional) verifies global invariants after the storm —
+	// e.g. that a shared total equals the sum of all actors' operations.
+	FinalCheck func() error
+}
+
+// Fault is one injectable fault: typically "crash process X and restart
+// it". Fire blocks until the fault has been fully applied (the restart
+// may still be recovering in the background — that is the point).
+type Fault struct {
+	Name string
+	Fire func() error
+}
+
+// Options tunes the storm.
+type Options struct {
+	// Seed drives fault selection and spacing (deterministic storms).
+	Seed int64
+	// FaultEvery fires one fault per this many completed operations
+	// (0 disables fault injection).
+	FaultEvery int
+	// MaxFaults bounds the total faults (0 = unbounded).
+	MaxFaults int
+}
+
+// Report summarizes a storm.
+type Report struct {
+	Ops         int64
+	FaultsFired map[string]int
+	Errors      []error
+	Elapsed     time.Duration
+}
+
+// Failed reports whether the storm uncovered any violation.
+func (r Report) Failed() bool { return len(r.Errors) > 0 }
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	total := 0
+	for _, n := range r.FaultsFired {
+		total += n
+	}
+	status := "PASS"
+	if r.Failed() {
+		status = fmt.Sprintf("FAIL (%d violations)", len(r.Errors))
+	}
+	return fmt.Sprintf("%s: %d ops, %d faults %v in %v", status, r.Ops, total, r.FaultsFired, r.Elapsed)
+}
+
+// Run executes the workload under fault injection and returns the report.
+func Run(w Workload, faults []Fault, o Options) Report {
+	start := time.Now()
+	rep := Report{FaultsFired: make(map[string]int)}
+	if w.Actors <= 0 || w.OpsPerActor <= 0 || w.NewActor == nil {
+		rep.Errors = append(rep.Errors, fmt.Errorf("chaos: workload needs actors, ops and a factory"))
+		return rep
+	}
+	var (
+		ops     atomic.Int64
+		mu      sync.Mutex
+		errs    []error
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		faultWG sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+
+	// The fault injector: watches the op counter and fires a random fault
+	// each time it crosses a FaultEvery boundary.
+	if o.FaultEvery > 0 && len(faults) > 0 {
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			rng := rand.New(rand.NewSource(o.Seed + 1))
+			next := int64(o.FaultEvery)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if ops.Load() >= next {
+					next += int64(o.FaultEvery)
+					f := faults[rng.Intn(len(faults))]
+					if err := f.Fire(); err != nil {
+						fail(fmt.Errorf("chaos: fault %s: %w", f.Name, err))
+						return
+					}
+					mu.Lock()
+					rep.FaultsFired[f.Name]++
+					total := 0
+					for _, n := range rep.FaultsFired {
+						total += n
+					}
+					mu.Unlock()
+					if o.MaxFaults > 0 && total >= o.MaxFaults {
+						return
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+
+	for i := 0; i < w.Actors; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			op, done := w.NewActor(i)
+			if done != nil {
+				defer done()
+			}
+			for n := 1; n <= w.OpsPerActor; n++ {
+				if err := op(n); err != nil {
+					fail(fmt.Errorf("chaos: actor %d op %d: %w", i, n, err))
+					return
+				}
+				ops.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	faultWG.Wait()
+
+	if w.FinalCheck != nil {
+		if err := w.FinalCheck(); err != nil {
+			fail(fmt.Errorf("chaos: final check: %w", err))
+		}
+	}
+	rep.Ops = ops.Load()
+	rep.Errors = errs
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// RestartFault builds the common crash-and-restart fault: crash() must
+// kill the process and restart() must bring a fresh incarnation up
+// (running its recovery). The mutex serializes faults against each other.
+func RestartFault(name string, mu *sync.Mutex, crashAndRestart func() error) Fault {
+	return Fault{
+		Name: name,
+		Fire: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return crashAndRestart()
+		},
+	}
+}

@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mspr/internal/core"
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func asU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// testSystem is a single recoverable MSP with a per-session counter and a
+// shared grand total.
+type testSystem struct {
+	net    *simnet.Network
+	cfg    core.Config
+	mu     sync.Mutex
+	srv    *core.Server
+	client *core.Client
+}
+
+func newTestSystem(t *testing.T) *testSystem {
+	ts := &testSystem{net: simnet.New(simnet.Config{TimeScale: 0})}
+	def := core.Definition{
+		Methods: map[string]core.Handler{
+			"bump": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
+				n := asU64(ctx.GetVar("n")) + 1
+				ctx.SetVar("n", u64(n))
+				tot, err := ctx.ReadShared("total")
+				if err != nil {
+					return nil, err
+				}
+				if err := ctx.WriteShared("total", u64(asU64(tot)+1)); err != nil {
+					return nil, err
+				}
+				return u64(n), nil
+			},
+			"total": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
+				return ctx.ReadShared("total")
+			},
+		},
+		Shared: []core.SharedDef{{Name: "total", Initial: u64(0)}},
+	}
+	dom := core.NewDomain("chaos", 0, 0)
+	ts.cfg = core.NewConfig("sut", dom, simdisk.NewDisk(simdisk.DefaultModel(0)), ts.net, def)
+	ts.cfg.SessionCkptThreshold = 16 << 10
+	srv, err := core.Start(ts.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.srv = srv
+	ts.client = core.NewClient("chaos-client", ts.net, rpc.DefaultCallOptions(0))
+	return ts
+}
+
+func (ts *testSystem) restart() error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.srv.Crash()
+	srv, err := core.Start(ts.cfg)
+	if err != nil {
+		return err
+	}
+	ts.srv = srv
+	return nil
+}
+
+func (ts *testSystem) workload(actors, ops int) Workload {
+	return Workload{
+		Actors:      actors,
+		OpsPerActor: ops,
+		NewActor: func(i int) (func(int) error, func()) {
+			sess := ts.client.Session("sut")
+			return func(n int) error {
+				out, err := sess.Call("bump", nil)
+				if err != nil {
+					return err
+				}
+				if asU64(out) != uint64(n) {
+					return fmt.Errorf("counter %d, want %d (exactly-once violated)", asU64(out), n)
+				}
+				return nil
+			}, nil
+		},
+		FinalCheck: func() error {
+			sess := ts.client.Session("sut")
+			out, err := sess.Call("total", nil)
+			if err != nil {
+				return err
+			}
+			want := uint64(actors * ops)
+			if asU64(out) != want {
+				return fmt.Errorf("shared total %d, want %d", asU64(out), want)
+			}
+			return nil
+		},
+	}
+}
+
+func TestStormWithoutFaultsPasses(t *testing.T) {
+	ts := newTestSystem(t)
+	defer ts.srv.Crash()
+	defer ts.client.Close()
+	rep := Run(ts.workload(4, 10), nil, Options{})
+	if rep.Failed() {
+		t.Fatalf("clean storm failed: %v", rep.Errors)
+	}
+	if rep.Ops != 40 {
+		t.Fatalf("ops = %d, want 40", rep.Ops)
+	}
+}
+
+func TestStormWithCrashRestartsPasses(t *testing.T) {
+	ts := newTestSystem(t)
+	defer func() { ts.mu.Lock(); ts.srv.Crash(); ts.mu.Unlock() }()
+	defer ts.client.Close()
+	var faultMu sync.Mutex
+	faults := []Fault{RestartFault("crash-sut", &faultMu, ts.restart)}
+	rep := Run(ts.workload(4, 20), faults, Options{Seed: 1, FaultEvery: 15})
+	if rep.Failed() {
+		t.Fatalf("storm failed: %v\n%s", rep.Errors, rep)
+	}
+	if rep.FaultsFired["crash-sut"] == 0 {
+		t.Fatal("no faults fired")
+	}
+}
+
+func TestStormDetectsViolations(t *testing.T) {
+	// A deliberately broken workload must be reported, not masked.
+	w := Workload{
+		Actors:      2,
+		OpsPerActor: 3,
+		NewActor: func(i int) (func(int) error, func()) {
+			return func(n int) error {
+				if n == 2 {
+					return errors.New("synthetic violation")
+				}
+				return nil
+			}, nil
+		},
+	}
+	rep := Run(w, nil, Options{})
+	if !rep.Failed() {
+		t.Fatal("storm masked a violation")
+	}
+	if rep.String()[:4] != "FAIL" {
+		t.Fatalf("report string: %s", rep)
+	}
+}
+
+func TestStormRejectsEmptyWorkload(t *testing.T) {
+	rep := Run(Workload{}, nil, Options{})
+	if !rep.Failed() {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestStormMaxFaultsBound(t *testing.T) {
+	ts := newTestSystem(t)
+	defer func() { ts.mu.Lock(); ts.srv.Crash(); ts.mu.Unlock() }()
+	defer ts.client.Close()
+	var faultMu sync.Mutex
+	faults := []Fault{RestartFault("crash-sut", &faultMu, ts.restart)}
+	rep := Run(ts.workload(2, 30), faults, Options{Seed: 2, FaultEvery: 5, MaxFaults: 2})
+	if rep.Failed() {
+		t.Fatalf("storm failed: %v", rep.Errors)
+	}
+	if got := rep.FaultsFired["crash-sut"]; got != 2 {
+		t.Fatalf("fired %d faults, want exactly 2", got)
+	}
+}
+
+func TestReportStringPass(t *testing.T) {
+	rep := Report{Ops: 10, FaultsFired: map[string]int{}}
+	if rep.String()[:4] != "PASS" {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+// TestStormManySeeds runs a battery of small deterministic storms — the
+// `go test` version of cmd/mspr-chaos. Each seed produces a different
+// crash schedule; all must preserve exactly-once execution and
+// shared-state consistency. (This battery is what first exposed the
+// epoch-collision and lost-update bugs described in EXPERIMENTS.md.)
+func TestStormManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm battery skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ts := newTestSystem(t)
+			defer func() { ts.mu.Lock(); ts.srv.Crash(); ts.mu.Unlock() }()
+			defer ts.client.Close()
+			var faultMu sync.Mutex
+			faults := []Fault{RestartFault("crash-sut", &faultMu, ts.restart)}
+			rep := Run(ts.workload(3, 15), faults, Options{Seed: seed, FaultEvery: 10})
+			if rep.Failed() {
+				t.Fatalf("%s\n%v", rep, rep.Errors)
+			}
+		})
+	}
+}

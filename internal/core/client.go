@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+)
+
+// Client is an end client process (§2.1): it lives outside every service
+// domain, so all of its traffic is logged pessimistically by the MSPs it
+// talks to. The client resends each request — with the same sequence
+// number — until the reply arrives, and ignores duplicate replies; with
+// the server's receive logging and reply buffering this yields
+// exactly-once execution.
+type Client struct {
+	id   string
+	ep   *simnet.Endpoint
+	opts rpc.CallOptions
+
+	mu       sync.Mutex
+	sessions map[string]*ClientSession
+	counter  int
+	stopped  bool
+	stop     chan struct{}
+}
+
+// NewClient creates a client attached to the network at address id.
+func NewClient(id string, net *simnet.Network, opts rpc.CallOptions) *Client {
+	c := &Client{
+		id:       id,
+		ep:       net.Endpoint(simnet.Addr(id)),
+		opts:     opts,
+		sessions: make(map[string]*ClientSession),
+		stop:     make(chan struct{}),
+	}
+	go c.dispatch()
+	return c
+}
+
+// dispatch routes replies to the waiting session.
+func (c *Client) dispatch() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case m := <-c.ep.Recv():
+			rep, ok := m.Payload.(rpc.Reply)
+			if !ok {
+				continue
+			}
+			c.mu.Lock()
+			cs := c.sessions[rep.Session]
+			c.mu.Unlock()
+			if cs == nil {
+				continue
+			}
+			select {
+			case cs.replies <- rep:
+			default:
+			}
+		}
+	}
+}
+
+// Session starts a new session with the MSP at target. Each Session call
+// creates a distinct session.
+func (c *Client) Session(target string) *ClientSession {
+	c.mu.Lock()
+	c.counter++
+	cs := &ClientSession{
+		id:      fmt.Sprintf("%s#%d", c.id, c.counter),
+		target:  target,
+		client:  c,
+		nextSeq: 1,
+		replies: make(chan rpc.Reply, 16),
+	}
+	c.sessions[cs.id] = cs
+	c.mu.Unlock()
+	return cs
+}
+
+// Close stops the client's dispatcher.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if !c.stopped {
+		c.stopped = true
+		close(c.stop)
+	}
+	c.mu.Unlock()
+}
+
+// ClientSession is one session between an end client and an MSP. A
+// session processes one request at a time: Call must not be invoked
+// concurrently on the same session.
+type ClientSession struct {
+	id      string
+	target  string
+	client  *Client
+	nextSeq uint64
+	replies chan rpc.Reply
+	ended   bool
+}
+
+// ID returns the session identifier.
+func (cs *ClientSession) ID() string { return cs.id }
+
+// Call invokes a service method, resending until the reply arrives.
+// Application errors returned by the method surface as *rpc.AppError.
+func (cs *ClientSession) Call(method string, arg []byte) ([]byte, error) {
+	if cs.ended {
+		return nil, fmt.Errorf("core: session %s already ended", cs.id)
+	}
+	seq := cs.nextSeq
+	req := rpc.Request{
+		Session:    cs.id,
+		Seq:        seq,
+		Method:     method,
+		Arg:        arg,
+		NewSession: seq == 1,
+		From:       cs.client.ep.Addr(),
+	}
+	payload, err := rpc.Call(func(r rpc.Request) {
+		cs.client.ep.Send(simnet.Addr(cs.target), r)
+	}, cs.replies, req, cs.client.opts)
+	if err != nil && !isTerminal(err) {
+		return nil, err
+	}
+	cs.nextSeq = seq + 1
+	return payload, err
+}
+
+// End terminates the session at the server.
+func (cs *ClientSession) End() error {
+	if cs.ended {
+		return nil
+	}
+	seq := cs.nextSeq
+	req := rpc.Request{
+		Session:    cs.id,
+		Seq:        seq,
+		NewSession: seq == 1,
+		EndSession: true,
+		From:       cs.client.ep.Addr(),
+	}
+	_, err := rpc.Call(func(r rpc.Request) {
+		cs.client.ep.Send(simnet.Addr(cs.target), r)
+	}, cs.replies, req, cs.client.opts)
+	cs.ended = true
+	cs.client.mu.Lock()
+	delete(cs.client.sessions, cs.id)
+	cs.client.mu.Unlock()
+	return err
+}
+
+// isTerminal reports whether an error is a definitive outcome of the
+// request (the request executed, or can never execute), after which the
+// sequence number advances.
+func isTerminal(err error) bool {
+	if err == nil {
+		return true
+	}
+	if _, ok := err.(*rpc.AppError); ok {
+		return true
+	}
+	return false
+}

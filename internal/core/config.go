@@ -1,0 +1,125 @@
+// Package core implements the paper's contribution: a log-based recovery
+// infrastructure for Middleware Server Processes (MSPs).
+//
+// An MSP (Server) serves client-initiated requests with a thread pool,
+// keeps private in-memory session state per client and shared in-memory
+// state across clients, and may call other MSPs while serving a request
+// (§2). The recovery infrastructure is transparent to service methods: it
+// logs every source of nondeterminism (message receipts and shared-state
+// accesses) to a single physical log, checkpoints sessions, shared
+// variables and the MSP itself, and after a crash replays logged requests
+// to restore all business state — guaranteeing exactly-once execution
+// semantics and inter-MSP consistency (no orphans).
+//
+// Logging is locally optimistic (§3.1): message exchanges within a
+// service domain attach dependency vectors and defer log flushes, while
+// exchanges across domain boundaries (including all end-client traffic)
+// are logged pessimistically via a distributed log flush before send.
+package core
+
+import (
+	"time"
+
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+)
+
+// Handler is a service method. It runs with at most one request per
+// session in flight and must be deterministic given its argument, the
+// session variables, and the values returned by Ctx.ReadShared and
+// Ctx.Call — recovery re-executes it, feeding those values from the log.
+type Handler func(ctx *Ctx, arg []byte) ([]byte, error)
+
+// SharedDef declares a shared variable and its initial value.
+type SharedDef struct {
+	Name    string
+	Initial []byte
+}
+
+// Definition is the application-level content of an MSP: its service
+// methods and shared variables. A Definition is immutable once the server
+// starts and is reused verbatim when restarting after a crash (program
+// code survives crashes; only in-memory state is lost).
+type Definition struct {
+	Methods map[string]Handler
+	Shared  []SharedDef
+}
+
+// Config assembles an MSP. The zero value is not runnable; use NewConfig
+// for experiment-ready defaults.
+type Config struct {
+	// ID is the MSP's process identifier and network address.
+	ID string
+	// Domain is the service domain this MSP belongs to. Every MSP must be
+	// in exactly one domain; an MSP alone in its domain does pure
+	// pessimistic logging (the paper's Pessimistic configuration).
+	Domain *Domain
+	// Disk hosts the MSP's physical log (a dedicated disk, per §5.2).
+	Disk *simdisk.Disk
+	// Net is the simulated network.
+	Net *simnet.Network
+	// Def supplies methods and shared variables.
+	Def Definition
+
+	// Workers is the thread-pool size.
+	Workers int
+	// Logging enables the recovery infrastructure. False reproduces the
+	// paper's NoLog configuration: no logging, no recovery.
+	Logging bool
+	// SessionCkptThreshold is the amount of log (bytes) a session consumes
+	// between session checkpoints (1 MB in most of §5). Zero disables
+	// session checkpointing (the paper's NoCp configuration).
+	SessionCkptThreshold int64
+	// SVCkptEvery is the number of writes to a shared variable between its
+	// checkpoints (§3.3).
+	SVCkptEvery int
+	// MSPCkptEvery is the amount of log (bytes) between fuzzy MSP
+	// checkpoints (§3.4).
+	MSPCkptEvery int64
+	// ForceCkptAfter forces a session or shared-variable checkpoint if
+	// this many MSP checkpoints were taken since its last one, keeping the
+	// analysis-scan start point fresh (§3.4).
+	ForceCkptAfter int
+	// BatchFlushTimeout enables batch flushing (group commit) with the
+	// given model timeout (§5.5); zero flushes immediately.
+	BatchFlushTimeout time.Duration
+	// TimeScale converts model latencies to wall-clock sleeps.
+	TimeScale float64
+	// SerialRecovery disables parallel session recovery, replaying the
+	// sessions one after another. It exists only for the ablation
+	// benchmark of the paper's parallel-recovery claim (§1.3, §4.3); keep
+	// it false in real use.
+	SerialRecovery bool
+	// StatelessSessions makes the server accept any request sequence on
+	// any session, creating sessions on demand and executing every
+	// delivery. It is for services that deduplicate at a lower layer —
+	// e.g. a transactional resource manager whose testable transactions
+	// detect duplicates against durable state (see internal/txmsp). Such
+	// services must make their handlers idempotent themselves.
+	StatelessSessions bool
+}
+
+// NewConfig returns a Config with the defaults used by the experiments:
+// logging on, 1 MB session-checkpoint threshold, shared-variable
+// checkpoints every 64 writes, 4 MB between MSP checkpoints, forced
+// checkpoints after 3 MSP checkpoints.
+func NewConfig(id string, domain *Domain, disk *simdisk.Disk, net *simnet.Network, def Definition) Config {
+	var timeScale float64
+	if disk != nil {
+		timeScale = disk.Model().TimeScale
+	}
+	return Config{
+		ID:                   id,
+		Domain:               domain,
+		Disk:                 disk,
+		Net:                  net,
+		Def:                  def,
+		Workers:              32,
+		Logging:              true,
+		SessionCkptThreshold: 1 << 20,
+		SVCkptEvery:          64,
+		MSPCkptEvery:         4 << 20,
+		ForceCkptAfter:       3,
+		TimeScale:            timeScale,
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mspr/internal/logrec"
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+	"mspr/internal/simtime"
+	"mspr/internal/wal"
+)
+
+// ctxMode distinguishes normal execution from logged-request replay.
+type ctxMode int
+
+const (
+	modeNormal ctxMode = iota
+	modeReplay
+)
+
+// replayState is the per-recovery cursor over a session's position
+// stream. Replay consumes the stream's records in order; when the stream
+// runs out — or an orphan log record is found — the context switches to
+// live execution mid-method and the method simply continues for real
+// ("the session continues the action occurring at recovery end", §4.1).
+type replayState struct {
+	positions []wal.LSN
+	idx       int
+	switched  bool
+}
+
+// next returns the next logged record of the session, or ok=false when
+// the stream is exhausted.
+func (rp *replayState) next(s *Server) (lsn wal.LSN, typ logrec.Type, payload []byte, ok bool) {
+	if rp.idx >= len(rp.positions) {
+		return 0, 0, nil, false
+	}
+	lsn = rp.positions[rp.idx]
+	t, p, err := s.log.ReadRecord(lsn)
+	if err != nil {
+		panic(fmt.Errorf("core: replay of %s: reading %d: %w", s.cfg.ID, lsn, err))
+	}
+	rp.idx++
+	return lsn, logrec.Type(t), p, true
+}
+
+// Ctx is the execution context handed to service methods. It provides
+// access to session variables (private state, not logged), shared
+// variables (value-logged), and synchronous calls to other MSPs. The same
+// Ctx type drives both normal execution and recovery replay; service
+// methods cannot tell the difference — which is precisely what makes the
+// recovery infrastructure transparent.
+type Ctx struct {
+	srv    *Server
+	sess   *Session
+	mode   ctxMode
+	rp     *replayState
+	reqSeq uint64 // sequence number of the request being served
+}
+
+// SessionID returns the identifier of the session serving this request.
+func (c *Ctx) SessionID() string { return c.sess.id }
+
+// ServerID returns the identifier of the MSP executing this request.
+func (c *Ctx) ServerID() string { return c.srv.cfg.ID }
+
+// RequestSeq returns the sequence number of the request being served.
+// (SessionID, RequestSeq) uniquely identifies a request execution and is
+// stable across replay — methods use it as an idempotency key when
+// talking to external transactional systems (testable transactions).
+func (c *Ctx) RequestSeq() uint64 { return c.reqSeq }
+
+// intercept is the recovery infrastructure's interception point (§4.1):
+// executed whenever the method sends or receives a message or accesses a
+// variable, it checks whether the session has become an orphan. During
+// normal execution an orphan aborts the request and triggers session
+// orphan recovery; during replay it restarts the replay from the
+// checkpoint (the orphan record will be found and skipped).
+func (c *Ctx) intercept() {
+	if !c.srv.cfg.Logging {
+		return
+	}
+	if _, orphan := c.srv.know.OrphanIn(c.sess.vecLocked()); !orphan {
+		return
+	}
+	if c.mode == modeReplay {
+		panic(replayRestart{})
+	}
+	panic(orphanAbort{})
+}
+
+// GetVar returns the value of a session variable (nil if unset). Session-
+// variable access is not logged: re-execution reconstructs private state
+// (§3.2).
+func (c *Ctx) GetVar(name string) []byte {
+	c.sess.mu.Lock()
+	defer c.sess.mu.Unlock()
+	v, ok := c.sess.vars[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// SetVar sets a session variable.
+func (c *Ctx) SetVar(name string, value []byte) {
+	c.sess.mu.Lock()
+	c.sess.vars[name] = append([]byte(nil), value...)
+	c.sess.mu.Unlock()
+}
+
+// DelVar removes a session variable.
+func (c *Ctx) DelVar(name string) {
+	c.sess.mu.Lock()
+	delete(c.sess.vars, name)
+	c.sess.mu.Unlock()
+}
+
+// VarsSnapshot returns a copy of every session variable. Baseline
+// configurations (Psession, StateServer in §5.2) use it to externalize
+// session state; applications normally use GetVar/SetVar.
+func (c *Ctx) VarsSnapshot() map[string][]byte {
+	c.sess.mu.Lock()
+	defer c.sess.mu.Unlock()
+	out := make(map[string][]byte, len(c.sess.vars))
+	for k, v := range c.sess.vars {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// ReplaceVars replaces the entire session-variable map (baseline hook,
+// counterpart of VarsSnapshot).
+func (c *Ctx) ReplaceVars(vars map[string][]byte) {
+	m := make(map[string][]byte, len(vars))
+	for k, v := range vars {
+		m[k] = append([]byte(nil), v...)
+	}
+	c.sess.mu.Lock()
+	c.sess.vars = m
+	c.sess.mu.Unlock()
+}
+
+// Work simulates business-logic CPU time. Replay re-executes it (§5.4:
+// replay "requires the same amount of CPU time for the method execution").
+func (c *Ctx) Work(d time.Duration) {
+	simtime.Sleep(time.Duration(float64(d) * c.srv.cfg.TimeScale))
+}
+
+// ReadShared reads a shared variable (Fig. 8 read action). During replay
+// the value comes from the log, so the reader never depends on the
+// writer's recovery (value logging, §3.3).
+func (c *Ctx) ReadShared(name string) ([]byte, error) {
+	c.intercept()
+	sv := c.srv.sharedVar(name)
+	if sv == nil {
+		return nil, fmt.Errorf("%w: %s", errUnknownShared, name)
+	}
+	if c.mode == modeReplay {
+		lsn, typ, payload, ok := c.rp.next(c.srv)
+		if !ok {
+			c.switchToLive(0, false)
+			return sv.read(c.sess)
+		}
+		if typ != logrec.TSharedRead {
+			panic(fmt.Errorf("core: replay mismatch in %s/%s: expected SharedRead(%s), log has %v at %d",
+				c.srv.cfg.ID, c.sess.id, name, typ, lsn))
+		}
+		rec, err := logrec.DecodeSharedRead(payload)
+		if err != nil {
+			panic(err)
+		}
+		if rec.Var != name {
+			panic(fmt.Errorf("core: replay mismatch: read of %s, log has read of %s", name, rec.Var))
+		}
+		if _, orphan := c.srv.know.OrphanIn(rec.DV); orphan {
+			// Orphan log record found: recovery ends here; the read
+			// continues as normal execution (§4.1).
+			c.switchToLive(lsn, true)
+			return sv.read(c.sess)
+		}
+		c.sess.mergeVec(rec.DV)
+		c.sess.replayAdvance(lsn)
+		return append([]byte(nil), rec.Value...), nil
+	}
+	return sv.read(c.sess)
+}
+
+// WriteShared writes a shared variable (Fig. 8 write action). Replay
+// skips the write: the variable has its own separate recovery (§4.1).
+func (c *Ctx) WriteShared(name string, value []byte) error {
+	c.intercept()
+	sv := c.srv.sharedVar(name)
+	if sv == nil {
+		return fmt.Errorf("%w: %s", errUnknownShared, name)
+	}
+	if c.mode == modeReplay {
+		lsn, typ, payload, ok := c.rp.next(c.srv)
+		if !ok {
+			c.switchToLive(0, false)
+			return sv.write(c.sess, value)
+		}
+		if typ != logrec.TSharedWrite {
+			panic(fmt.Errorf("core: replay mismatch in %s/%s: expected SharedWrite(%s), log has %v at %d",
+				c.srv.cfg.ID, c.sess.id, name, typ, lsn))
+		}
+		rec, err := logrec.DecodeSharedWrite(payload)
+		if err != nil {
+			panic(err)
+		}
+		if rec.Var != name {
+			panic(fmt.Errorf("core: replay mismatch: write of %s, log has write of %s", name, rec.Var))
+		}
+		return nil // skipped: shared state recovers separately
+	}
+	return sv.write(c.sess, value)
+}
+
+// Call synchronously invokes a service method of another MSP over this
+// session's outgoing session to that MSP. During replay the request is
+// not sent; the reply comes from the log (§4.1).
+func (c *Ctx) Call(target, method string, arg []byte) ([]byte, error) {
+	c.intercept()
+	out := c.sess.outSession(target)
+	if c.mode == modeReplay {
+		seq := out.nextSeq
+		lsn, typ, payload, ok := c.rp.next(c.srv)
+		if !ok {
+			c.switchToLive(0, false)
+			return c.liveCall(out, method, arg)
+		}
+		if typ != logrec.TReplyReceive {
+			panic(fmt.Errorf("core: replay mismatch in %s/%s: expected ReplyReceive, log has %v at %d",
+				c.srv.cfg.ID, c.sess.id, typ, lsn))
+		}
+		rec, err := logrec.DecodeReplyReceive(payload)
+		if err != nil {
+			panic(err)
+		}
+		if rec.OutSession != out.id || rec.Seq != seq {
+			panic(fmt.Errorf("core: replay mismatch: call %s/%d, log has %s/%d",
+				out.id, seq, rec.OutSession, rec.Seq))
+		}
+		if rec.HasDV {
+			if _, orphan := c.srv.know.OrphanIn(rec.DV); orphan {
+				// Orphan reply found: recovery ends; re-issue the call
+				// live. The target deduplicates by sequence number, so
+				// the request still executes exactly once.
+				c.switchToLive(lsn, true)
+				return c.liveCall(out, method, arg)
+			}
+			c.sess.mergeVec(rec.DV)
+		}
+		c.sess.replayAdvance(lsn)
+		out.nextSeq = seq + 1
+		return replyToResult(rpc.Status(rec.Status), rec.Reply)
+	}
+	return c.liveCall(out, method, arg)
+}
+
+// switchToLive ends replay mid-method. If an orphan log record was found
+// (haveOrphan), the positions of the skipped records are removed from the
+// stream and an EOS record pointing back at the orphan record is written
+// (§4.1); either way the context becomes a normal-execution context and
+// the method continues live.
+func (c *Ctx) switchToLive(orphanLSN wal.LSN, haveOrphan bool) {
+	c.rp.switched = true
+	c.mode = modeNormal
+	if haveOrphan {
+		c.sess.truncatePositions(orphanLSN)
+		rec := logrec.EOS{Session: c.sess.id, Orphan: orphanLSN}
+		// The EOS record needs no immediate flush and its position is not
+		// added to the stream — it must be invisible to future replays.
+		_, _, _ = c.srv.appendRec(logrec.TEOS, rec.Encode())
+	}
+}
+
+// liveCall performs a real outgoing call: locally optimistic logging
+// attaches the session's DV inside the domain; a distributed log flush
+// precedes any request leaving the domain (Fig. 7 before-send actions).
+func (c *Ctx) liveCall(out *outSession, method string, arg []byte) ([]byte, error) {
+	s := c.srv
+	sess := c.sess
+	seq := out.nextSeq
+	intra := s.cfg.Domain.Contains(out.target)
+	req := rpc.Request{
+		Session:    out.id,
+		Seq:        seq,
+		Method:     method,
+		Arg:        arg,
+		NewSession: seq == 1,
+		From:       s.ep.Addr(),
+	}
+	if s.cfg.Logging {
+		if intra {
+			req.HasDV = true
+			req.DV = sess.vecWithSelf()
+		} else {
+			if err := s.distributedFlush(sess.vecWithSelf()); err != nil {
+				if errors.Is(err, errOrphanDep) {
+					panic(orphanAbort{})
+				}
+				return nil, err
+			}
+		}
+	}
+
+	ch := s.pending.register(out.id)
+	defer s.pending.deregister(out.id)
+	opts := rpc.DefaultCallOptions(s.cfg.TimeScale)
+	target := simnet.Addr(out.target)
+
+	resend := time.Duration(float64(opts.ResendAfter) * opts.TimeScale)
+	if resend <= 0 {
+		resend = time.Millisecond
+	}
+	for {
+		s.ep.Send(target, req)
+		timer := time.NewTimer(resend)
+	waiting:
+		for {
+			select {
+			case <-s.stop:
+				timer.Stop()
+				panic(crashAbort{errors.New("server crashed during outgoing call")})
+			case rep := <-ch:
+				if rep.Seq != seq {
+					continue
+				}
+				if rep.Status == rpc.StatusBusy {
+					timer.Stop()
+					sleepScaled(opts.BusyBackoff, opts.TimeScale)
+					break waiting
+				}
+				if rep.HasDV {
+					// Fig. 7: discard an orphan message. The sender will
+					// itself recover; our resend fetches a clean reply.
+					if _, orphan := s.know.OrphanIn(rep.DV); orphan {
+						continue
+					}
+				}
+				timer.Stop()
+				c.intercept()
+				if s.cfg.Logging {
+					rec := logrec.ReplyReceive{Session: sess.id, OutSession: out.id, Seq: seq,
+						Status: byte(rep.Status), Reply: rep.Payload, HasDV: rep.HasDV, DV: rep.DV}
+					lsn, n := s.mustAppend(logrec.TReplyReceive, rec.Encode())
+					sess.noteReceive(lsn, n, rep.DV)
+				}
+				out.nextSeq = seq + 1
+				return replyToResult(rep.Status, rep.Payload)
+			case <-timer.C:
+				c.intercept()
+				break waiting // resend the same request
+			}
+		}
+	}
+}
+
+func replyToResult(status rpc.Status, payload []byte) ([]byte, error) {
+	switch status {
+	case rpc.StatusOK:
+		return payload, nil
+	case rpc.StatusAppError:
+		return nil, &rpc.AppError{Msg: string(payload)}
+	case rpc.StatusRejected:
+		return nil, rpc.ErrRejected
+	default:
+		return nil, fmt.Errorf("core: unexpected reply status %v", status)
+	}
+}
+
+func sleepScaled(d time.Duration, scale float64) {
+	s := time.Duration(float64(d) * scale)
+	if s <= 0 {
+		s = 200 * time.Microsecond // keep retry loops polite at TimeScale 0
+	}
+	simtime.Sleep(s)
+}
+
+// sharedVar looks up a declared shared variable.
+func (s *Server) sharedVar(name string) *SharedVar {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shared[name]
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+)
+
+// DurableClient is an end client whose session progress survives its own
+// crashes. The paper's exactly-once argument (§3.1) assumes the client
+// resends a request — with the same sequence number — until the reply
+// arrives; a client that forgets its sequence numbers in a crash breaks
+// that chain. DurableClient writes an intent record (session, sequence,
+// method, argument) to stable storage before each send and a completion
+// record after each reply, so a restarted client resumes every session
+// exactly where it stopped: completed requests are never re-issued with
+// a fresh sequence number (which would duplicate them), and an in-flight
+// request can be re-driven to fetch the server's buffered reply.
+type DurableClient struct {
+	id   string
+	ep   *simnet.Endpoint
+	opts rpc.CallOptions
+	file *simdisk.File
+
+	mu       sync.Mutex
+	sessions map[string]*DurableSession
+	counter  uint64
+	off      int64
+	stopped  bool
+	stop     chan struct{}
+}
+
+// DurableSession is one durable session with an MSP.
+type DurableSession struct {
+	c       *DurableClient
+	id      string
+	target  string
+	nextSeq uint64
+	pending *intent
+	replies chan rpc.Reply
+}
+
+// intent is a persisted in-flight request.
+type intent struct {
+	seq    uint64
+	method string
+	arg    []byte
+}
+
+// journal record types.
+const (
+	dcBegin  byte = 1 // session created: id, target
+	dcIntent byte = 2 // about to send: session, seq, method, arg
+	dcDone   byte = 3 // reply received: session, seq
+)
+
+// NewDurableClient opens (or re-opens after a crash) the durable client
+// persisted on file. Restored sessions are available via Sessions.
+func NewDurableClient(id string, net *simnet.Network, disk *simdisk.Disk, opts rpc.CallOptions) (*DurableClient, error) {
+	c := &DurableClient{
+		id:       id,
+		ep:       net.Endpoint(simnet.Addr(id)),
+		opts:     opts,
+		file:     disk.OpenFile("client/" + id),
+		sessions: make(map[string]*DurableSession),
+		stop:     make(chan struct{}),
+	}
+	c.ep.SetDown(false)
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	go c.dispatch()
+	return c, nil
+}
+
+func (c *DurableClient) dispatch() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case m := <-c.ep.Recv():
+			rep, ok := m.Payload.(rpc.Reply)
+			if !ok {
+				continue
+			}
+			c.mu.Lock()
+			ds := c.sessions[rep.Session]
+			c.mu.Unlock()
+			if ds == nil {
+				continue
+			}
+			select {
+			case ds.replies <- rep:
+			default:
+			}
+		}
+	}
+}
+
+// Close stops the client's dispatcher (its state stays on disk).
+func (c *DurableClient) Close() {
+	c.mu.Lock()
+	if !c.stopped {
+		c.stopped = true
+		close(c.stop)
+	}
+	c.mu.Unlock()
+}
+
+// Crash simulates a client crash: like Close, but also drops in-flight
+// deliveries (callers then construct a fresh DurableClient on the same
+// disk).
+func (c *DurableClient) Crash() {
+	c.Close()
+	c.ep.SetDown(true)
+}
+
+// Session starts a new durable session with the MSP at target.
+func (c *DurableClient) Session(target string) (*DurableSession, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counter++
+	ds := &DurableSession{
+		c:       c,
+		id:      fmt.Sprintf("%s#%d", c.id, c.counter),
+		target:  target,
+		nextSeq: 1,
+		replies: make(chan rpc.Reply, 16),
+	}
+	if err := c.appendLocked(dcBegin, encBegin(ds.id, target)); err != nil {
+		return nil, err
+	}
+	c.sessions[ds.id] = ds
+	return ds, nil
+}
+
+// Sessions returns every session known to the client, including ones
+// restored from stable storage after a crash, keyed by session ID.
+func (c *DurableClient) Sessions() map[string]*DurableSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*DurableSession, len(c.sessions))
+	for k, v := range c.sessions {
+		out[k] = v
+	}
+	return out
+}
+
+// ID returns the session identifier.
+func (ds *DurableSession) ID() string { return ds.id }
+
+// Target returns the MSP the session talks to.
+func (ds *DurableSession) Target() string { return ds.target }
+
+// Pending returns the in-flight request restored from stable storage, if
+// any: the request was sent before the client crashed and its outcome is
+// unknown. Call Resume to drive it to completion.
+func (ds *DurableSession) Pending() (method string, arg []byte, ok bool) {
+	ds.c.mu.Lock()
+	defer ds.c.mu.Unlock()
+	if ds.pending == nil {
+		return "", nil, false
+	}
+	return ds.pending.method, append([]byte(nil), ds.pending.arg...), true
+}
+
+// Call invokes a service method with exactly-once semantics that survive
+// client crashes. It returns an error if a restored in-flight request is
+// still pending (Resume it first).
+func (ds *DurableSession) Call(method string, arg []byte) ([]byte, error) {
+	ds.c.mu.Lock()
+	if ds.pending != nil {
+		ds.c.mu.Unlock()
+		return nil, errors.New("core: session has a pending request; Resume it first")
+	}
+	seq := ds.nextSeq
+	in := &intent{seq: seq, method: method, arg: append([]byte(nil), arg...)}
+	if err := ds.c.appendLocked(dcIntent, encIntent(ds.id, in)); err != nil {
+		ds.c.mu.Unlock()
+		return nil, err
+	}
+	ds.pending = in
+	ds.c.mu.Unlock()
+	return ds.drive(in)
+}
+
+// Resume re-drives a restored in-flight request to completion, returning
+// its reply. The server's sequence-number discipline guarantees the
+// request executes exactly once no matter how many times it was sent.
+func (ds *DurableSession) Resume() ([]byte, error) {
+	ds.c.mu.Lock()
+	in := ds.pending
+	ds.c.mu.Unlock()
+	if in == nil {
+		return nil, errors.New("core: nothing to resume")
+	}
+	return ds.drive(in)
+}
+
+// drive sends the intent until a terminal reply arrives, then persists
+// completion.
+func (ds *DurableSession) drive(in *intent) ([]byte, error) {
+	req := rpc.Request{
+		Session:    ds.id,
+		Seq:        in.seq,
+		Method:     in.method,
+		Arg:        in.arg,
+		NewSession: in.seq == 1,
+		From:       ds.c.ep.Addr(),
+	}
+	payload, err := rpc.Call(func(r rpc.Request) {
+		ds.c.ep.Send(simnet.Addr(ds.target), r)
+	}, ds.replies, req, ds.c.opts)
+	if err != nil {
+		if _, ok := err.(*rpc.AppError); !ok {
+			return nil, err // transport-level failure: intent stays pending
+		}
+	}
+	ds.c.mu.Lock()
+	werr := ds.c.appendLocked(dcDone, encDone(ds.id, in.seq))
+	if werr == nil {
+		ds.pending = nil
+		ds.nextSeq = in.seq + 1
+	}
+	ds.c.mu.Unlock()
+	if werr != nil {
+		return nil, werr
+	}
+	return payload, err
+}
+
+// --- journal encoding ---
+
+func encBegin(id, target string) []byte {
+	var b []byte
+	b = appendStr(b, id)
+	b = appendStr(b, target)
+	return b
+}
+
+func encIntent(id string, in *intent) []byte {
+	var b []byte
+	b = appendStr(b, id)
+	b = binary.AppendUvarint(b, in.seq)
+	b = appendStr(b, in.method)
+	b = binary.AppendUvarint(b, uint64(len(in.arg)))
+	b = append(b, in.arg...)
+	return b
+}
+
+func encDone(id string, seq uint64) []byte {
+	var b []byte
+	b = appendStr(b, id)
+	b = binary.AppendUvarint(b, seq)
+	return b
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func takeStr(b []byte) (string, []byte, bool) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) < n {
+		return "", nil, false
+	}
+	return string(b[k : k+int(n)]), b[k+int(n):], true
+}
+
+// appendLocked writes one framed journal record durably and charges the
+// disk. Caller holds c.mu.
+func (c *DurableClient) appendLocked(typ byte, payload []byte) error {
+	frame := make([]byte, 0, len(payload)+10)
+	frame = append(frame, typ)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	if _, err := c.file.WriteAt(frame, c.off); err != nil {
+		return err
+	}
+	c.off += int64(len(frame))
+	sectors := (len(frame) + simdisk.SectorSize - 1) / simdisk.SectorSize
+	c.file.Disk().ChargeWrite(sectors, sectors*simdisk.SectorSize-len(frame))
+	return nil
+}
+
+// load replays the journal's valid prefix.
+func (c *DurableClient) load() error {
+	size := c.file.Size()
+	if size == 0 {
+		return nil
+	}
+	buf := make([]byte, size)
+	if _, err := c.file.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	c.file.Disk().ChargeRead(int((size + simdisk.SectorSize - 1) / simdisk.SectorSize))
+	off := int64(0)
+	for int(off)+9 <= len(buf) {
+		typ := buf[off]
+		if typ == 0 {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off+1:]))
+		if int(off)+9+n > len(buf) {
+			break
+		}
+		payload := buf[off+5 : off+5+int64(n)]
+		want := binary.LittleEndian.Uint32(buf[off+5+int64(n):])
+		if crc32.ChecksumIEEE(payload) != want {
+			break // torn tail
+		}
+		c.applyJournal(typ, payload)
+		off += int64(9 + n)
+	}
+	c.off = off
+	return nil
+}
+
+func (c *DurableClient) applyJournal(typ byte, p []byte) {
+	switch typ {
+	case dcBegin:
+		id, rest, ok := takeStr(p)
+		if !ok {
+			return
+		}
+		target, _, ok := takeStr(rest)
+		if !ok {
+			return
+		}
+		c.sessions[id] = &DurableSession{
+			c: c, id: id, target: target, nextSeq: 1,
+			replies: make(chan rpc.Reply, 16),
+		}
+		// Track the counter so new sessions never collide with restored
+		// IDs.
+		var n uint64
+		if _, err := fmt.Sscanf(id, c.id+"#%d", &n); err == nil && n > c.counter {
+			c.counter = n
+		}
+	case dcIntent:
+		id, rest, ok := takeStr(p)
+		if !ok {
+			return
+		}
+		ds := c.sessions[id]
+		if ds == nil {
+			return
+		}
+		seq, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return
+		}
+		rest = rest[k:]
+		method, rest, ok := takeStr(rest)
+		if !ok {
+			return
+		}
+		n, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < n {
+			return
+		}
+		ds.pending = &intent{seq: seq, method: method,
+			arg: append([]byte(nil), rest[k:k+int(n)]...)}
+	case dcDone:
+		id, rest, ok := takeStr(p)
+		if !ok {
+			return
+		}
+		ds := c.sessions[id]
+		if ds == nil {
+			return
+		}
+		seq, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return
+		}
+		if ds.pending != nil && ds.pending.seq == seq {
+			ds.pending = nil
+		}
+		if seq+1 > ds.nextSeq {
+			ds.nextSeq = seq + 1
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+)
+
+// durable client tests: exactly-once must survive crashes of the CLIENT,
+// not just the servers.
+
+func newDurableClientEnv(t *testing.T) (*testEnv, *simdisk.Disk) {
+	e := newTestEnv(t)
+	e.start("msp1", counterDef())
+	return e, simdisk.NewDisk(simdisk.DefaultModel(0))
+}
+
+func mustDurable(t *testing.T, e *testEnv, disk *simdisk.Disk) *DurableClient {
+	t.Helper()
+	dc, err := NewDurableClient("dclient", e.net, disk, rpc.DefaultCallOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestDurableClientBasicCalls(t *testing.T) {
+	e, disk := newDurableClientEnv(t)
+	defer e.cleanup()
+	dc := mustDurable(t, e, disk)
+	defer dc.Close()
+	ds, err := dc.Session("msp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(1); want <= 5; want++ {
+		out, err := ds.Call("inc", nil)
+		if err != nil || asU64(out) != want {
+			t.Fatalf("inc = (%d, %v), want %d", asU64(out), err, want)
+		}
+	}
+}
+
+func TestDurableClientResumesAfterCrash(t *testing.T) {
+	e, disk := newDurableClientEnv(t)
+	defer e.cleanup()
+	dc := mustDurable(t, e, disk)
+	ds, err := dc.Session("msp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ds.Call("inc", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := ds.ID()
+	dc.Crash()
+
+	dc2 := mustDurable(t, e, disk)
+	defer dc2.Close()
+	restored := dc2.Sessions()[id]
+	if restored == nil {
+		t.Fatalf("session %s not restored; have %v", id, dc2.Sessions())
+	}
+	if _, _, pending := restored.Pending(); pending {
+		t.Fatal("completed session should have no pending request")
+	}
+	// Continue exactly where we left off: the counter must be 4 —
+	// proving no sequence number was reused or skipped.
+	out, err := restored.Call("inc", nil)
+	if err != nil || asU64(out) != 4 {
+		t.Fatalf("restored session inc = (%d, %v), want 4", asU64(out), err)
+	}
+}
+
+func TestDurableClientResumesInFlightRequest(t *testing.T) {
+	e, disk := newDurableClientEnv(t)
+	defer e.cleanup()
+	dc := mustDurable(t, e, disk)
+	ds, err := dc.Session("msp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := ds.Call("inc", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Send the third request but crash the client before any reply can
+	// be processed: the intent is on disk, the outcome unknown. (The
+	// server may or may not have executed it — here it has; the resend
+	// must fetch the buffered reply, not execute again.)
+	reqID := ds.ID()
+	ds.c.mu.Lock()
+	in := &intent{seq: ds.nextSeq, method: "inc"}
+	if err := ds.c.appendLocked(dcIntent, encIntent(ds.id, in)); err != nil {
+		t.Fatal(err)
+	}
+	ds.c.mu.Unlock()
+	// Actually deliver it once so the server executes it.
+	e.net.Endpoint("dclient").Send("msp1", rpc.Request{
+		Session: ds.id, Seq: in.seq, Method: "inc", From: "dclient",
+	})
+	dc.Crash()
+
+	dc2 := mustDurable(t, e, disk)
+	defer dc2.Close()
+	restored := dc2.Sessions()[reqID]
+	if restored == nil {
+		t.Fatal("session not restored")
+	}
+	method, _, pending := restored.Pending()
+	if !pending || method != "inc" {
+		t.Fatalf("pending = (%q, %v), want inc", method, pending)
+	}
+	// Call before Resume must refuse.
+	if _, err := restored.Call("inc", nil); err == nil {
+		t.Fatal("Call with a pending request should fail")
+	}
+	out, err := restored.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asU64(out) != 3 {
+		t.Fatalf("resumed request returned %d, want 3 (duplicated or lost)", asU64(out))
+	}
+	// And the next call continues the sequence.
+	out, err = restored.Call("inc", nil)
+	if err != nil || asU64(out) != 4 {
+		t.Fatalf("post-resume inc = (%d, %v), want 4", asU64(out), err)
+	}
+}
+
+func TestDurableClientSurvivesServerAndClientCrash(t *testing.T) {
+	e, disk := newDurableClientEnv(t)
+	defer e.cleanup()
+	dc := mustDurable(t, e, disk)
+	ds, _ := dc.Session("msp1")
+	for i := 0; i < 3; i++ {
+		if _, err := ds.Call("inc", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := ds.ID()
+	dc.Crash()
+	e.restart("msp1") // server crashes too
+
+	dc2 := mustDurable(t, e, disk)
+	defer dc2.Close()
+	out, err := dc2.Sessions()[id].Call("inc", nil)
+	if err != nil || asU64(out) != 4 {
+		t.Fatalf("after double crash inc = (%d, %v), want 4", asU64(out), err)
+	}
+}
+
+func TestDurableClientTornJournalTail(t *testing.T) {
+	e, disk := newDurableClientEnv(t)
+	defer e.cleanup()
+	dc := mustDurable(t, e, disk)
+	ds, _ := dc.Session("msp1")
+	if _, err := ds.Call("inc", nil); err != nil {
+		t.Fatal(err)
+	}
+	dc.Crash()
+	// Corrupt the journal tail.
+	f := disk.OpenFile("client/dclient")
+	_, _ = f.WriteAt([]byte{9, 9, 9}, f.Size())
+	dc2 := mustDurable(t, e, disk)
+	defer dc2.Close()
+	if len(dc2.Sessions()) != 1 {
+		t.Fatalf("valid journal prefix lost: %v", dc2.Sessions())
+	}
+}
+
+func TestDurableClientNewSessionsAfterRestartDontCollide(t *testing.T) {
+	e, disk := newDurableClientEnv(t)
+	defer e.cleanup()
+	dc := mustDurable(t, e, disk)
+	ds1, _ := dc.Session("msp1")
+	_, _ = ds1.Call("inc", nil)
+	dc.Crash()
+	dc2 := mustDurable(t, e, disk)
+	defer dc2.Close()
+	ds2, err := dc2.Session("msp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.ID() == ds1.ID() {
+		t.Fatalf("restored client reused session ID %s", ds2.ID())
+	}
+	out, err := ds2.Call("inc", nil)
+	if err != nil || asU64(out) != 1 {
+		t.Fatalf("new session inc = (%d, %v), want 1", asU64(out), err)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"mspr/internal/simdisk"
+	"mspr/internal/wal"
+)
+
+// posBufferEntries is the capacity of a position stream's in-memory
+// buffer; only when it fills are positions flushed to disk (§3.2: "the
+// cost of writing positions is low").
+const posBufferEntries = 256
+
+// posStream is a session's position stream (§3.2): the positions, inside
+// the shared physical log, of the session's log records since its latest
+// checkpoint. Replay follows the stream so each session can be recovered
+// independently and in parallel from the single shared log.
+//
+// Positions are buffered in memory and spilled to a per-session disk file
+// when the buffer fills. After an MSP crash the in-memory state is lost
+// and the stream is reconstructed by the analysis scan; the stable file
+// exists for cost fidelity (position writes are charged to the disk) and
+// is rewritten by recovery.
+type posStream struct {
+	file   *simdisk.File
+	all    []wal.LSN // full stream since the last session checkpoint
+	stable int       // prefix of all that has been spilled to the file
+}
+
+func newPosStream(disk *simdisk.Disk, session string) *posStream {
+	if disk == nil {
+		return &posStream{}
+	}
+	return &posStream{file: disk.OpenFile("pos/" + session)}
+}
+
+// append adds a record position to the stream, spilling the buffer when
+// full.
+func (p *posStream) append(lsn wal.LSN) {
+	p.all = append(p.all, lsn)
+	if len(p.all)-p.stable >= posBufferEntries {
+		p.spill()
+	}
+}
+
+// spill writes the buffered positions to the stable file.
+func (p *posStream) spill() {
+	n := len(p.all) - p.stable
+	if n <= 0 || p.file == nil {
+		p.stable = len(p.all)
+		return
+	}
+	buf := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(p.all[p.stable+i]))
+	}
+	off := int64(8 * p.stable)
+	_, _ = p.file.WriteAt(buf, off)
+	sectors := (len(buf) + simdisk.SectorSize - 1) / simdisk.SectorSize
+	p.file.Disk().ChargeWrite(sectors, 0)
+	p.stable = len(p.all)
+}
+
+// snapshot returns the stream's positions for replay.
+func (p *posStream) snapshot() []wal.LSN {
+	out := make([]wal.LSN, len(p.all))
+	copy(out, p.all)
+	return out
+}
+
+// length returns the number of positions in the stream.
+func (p *posStream) length() int { return len(p.all) }
+
+// truncateAll discards the whole stream (session checkpoint taken or
+// session ended).
+func (p *posStream) truncateAll() {
+	p.all = p.all[:0]
+	p.stable = 0
+	if p.file != nil {
+		_ = p.file.Truncate(0)
+	}
+}
+
+// truncateFrom removes every position ≥ lsn (orphan recovery end: the
+// skipped records' positions are removed so they are invisible to any
+// future recovery of the session, §4.1).
+func (p *posStream) truncateFrom(lsn wal.LSN) {
+	i := len(p.all)
+	for i > 0 && p.all[i-1] >= lsn {
+		i--
+	}
+	p.all = p.all[:i]
+	if p.stable > i {
+		p.stable = i
+		if p.file != nil {
+			_ = p.file.Truncate(int64(8 * i))
+		}
+	}
+}
+
+// removeRange removes positions in [from, to] (crash-recovery scan
+// pruning between an orphan record and its EOS record).
+func (p *posStream) removeRange(from, to wal.LSN) {
+	kept := p.all[:0]
+	for _, l := range p.all {
+		if l < from || l > to {
+			kept = append(kept, l)
+		}
+	}
+	p.all = kept
+	if p.stable > len(p.all) {
+		p.stable = len(p.all)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mspr/internal/simdisk"
+	"mspr/internal/wal"
+)
+
+func newTestStream() *posStream {
+	return newPosStream(simdisk.NewDisk(simdisk.DefaultModel(0)), "s1")
+}
+
+func TestPosStreamAppendSnapshot(t *testing.T) {
+	p := newTestStream()
+	for i := 1; i <= 10; i++ {
+		p.append(wal.LSN(i * 100))
+	}
+	snap := p.snapshot()
+	if len(snap) != 10 || snap[0] != 100 || snap[9] != 1000 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if p.length() != 10 {
+		t.Fatalf("length = %d", p.length())
+	}
+	// Snapshot is a copy.
+	snap[0] = 999999
+	if p.snapshot()[0] != 100 {
+		t.Fatal("snapshot aliases internal storage")
+	}
+}
+
+func TestPosStreamSpillOnFullBuffer(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	p := newPosStream(disk, "s1")
+	for i := 0; i < posBufferEntries+10; i++ {
+		p.append(wal.LSN(i))
+	}
+	if disk.Stats().Writes == 0 {
+		t.Fatal("full position buffer never spilled to disk")
+	}
+	if p.stable < posBufferEntries {
+		t.Fatalf("stable prefix %d after spill", p.stable)
+	}
+}
+
+func TestPosStreamTruncateAll(t *testing.T) {
+	p := newTestStream()
+	for i := 0; i < 500; i++ {
+		p.append(wal.LSN(i))
+	}
+	p.truncateAll()
+	if p.length() != 0 || p.stable != 0 {
+		t.Fatalf("after truncateAll: len=%d stable=%d", p.length(), p.stable)
+	}
+	if p.file.Size() != 0 {
+		t.Fatalf("stable file not truncated: %d bytes", p.file.Size())
+	}
+}
+
+func TestPosStreamTruncateFrom(t *testing.T) {
+	p := newTestStream()
+	for i := 1; i <= 10; i++ {
+		p.append(wal.LSN(i * 10))
+	}
+	p.truncateFrom(55) // removes 60..100
+	snap := p.snapshot()
+	if len(snap) != 5 || snap[4] != 50 {
+		t.Fatalf("truncateFrom(55) left %v", snap)
+	}
+	p.truncateFrom(10) // removes everything
+	if p.length() != 0 {
+		t.Fatalf("truncateFrom(10) left %v", p.snapshot())
+	}
+}
+
+func TestPosStreamTruncateFromAdjustsStable(t *testing.T) {
+	p := newTestStream()
+	for i := 0; i < posBufferEntries+50; i++ {
+		p.append(wal.LSN(i))
+	}
+	p.truncateFrom(10)
+	if p.stable > p.length() {
+		t.Fatalf("stable %d exceeds length %d", p.stable, p.length())
+	}
+	if got := p.file.Size(); got != int64(8*p.stable) {
+		t.Fatalf("stable file %d bytes for %d stable entries", got, p.stable)
+	}
+}
+
+func TestPosStreamRemoveRange(t *testing.T) {
+	p := newTestStream()
+	for i := 1; i <= 10; i++ {
+		p.append(wal.LSN(i * 10))
+	}
+	p.removeRange(30, 70) // removes 30,40,50,60,70
+	snap := p.snapshot()
+	want := []wal.LSN{10, 20, 80, 90, 100}
+	if len(snap) != len(want) {
+		t.Fatalf("removeRange left %v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("removeRange left %v, want %v", snap, want)
+		}
+	}
+}
+
+// TestPosStreamPropertyVsReference compares the stream against a plain
+// slice implementation under random operation sequences.
+func TestPosStreamPropertyVsReference(t *testing.T) {
+	prop := func(seed int64, ops []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newTestStream()
+		var ref []wal.LSN
+		next := wal.LSN(1)
+		for _, op := range ops {
+			switch op % 5 {
+			case 0, 1, 2: // append (keep LSNs increasing, as real logs do)
+				next += wal.LSN(rng.Intn(100) + 1)
+				p.append(next)
+				ref = append(ref, next)
+			case 3: // truncateFrom a random point
+				if len(ref) == 0 {
+					continue
+				}
+				cut := ref[rng.Intn(len(ref))]
+				p.truncateFrom(cut)
+				i := len(ref)
+				for i > 0 && ref[i-1] >= cut {
+					i--
+				}
+				ref = ref[:i]
+			case 4: // removeRange over a random window
+				if len(ref) == 0 {
+					continue
+				}
+				a := ref[rng.Intn(len(ref))]
+				b := a + wal.LSN(rng.Intn(200))
+				p.removeRange(a, b)
+				kept := ref[:0]
+				for _, l := range ref {
+					if l < a || l > b {
+						kept = append(kept, l)
+					}
+				}
+				ref = kept
+			}
+		}
+		snap := p.snapshot()
+		if len(snap) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if snap[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPosStreamNilDisk(t *testing.T) {
+	p := newPosStream(nil, "s")
+	for i := 0; i < posBufferEntries*2; i++ {
+		p.append(wal.LSN(i))
+	}
+	p.truncateAll() // must not panic without a backing file
+	if p.length() != 0 {
+		t.Fatal("truncateAll with nil disk failed")
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+
+	"mspr/internal/dv"
+	"mspr/internal/logrec"
+	"mspr/internal/rpc"
+	"mspr/internal/wal"
+)
+
+// recoverFromCrash performs MSP crash recovery (Fig. 12):
+//
+//  1. re-initialize from the most recent MSP checkpoint (via the anchor);
+//  2. run a single-threaded analysis scan of the physical log that
+//     reconstructs every session's position stream, rolls shared
+//     variables forward to their most recent logged values, and rebuilds
+//     the knowledge of recovered state numbers;
+//  3. broadcast a recovery message with the recovered state number;
+//  4. take a fresh MSP checkpoint;
+//  5. return the sessions to be recovered in parallel while the MSP
+//     starts accepting new sessions.
+func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
+	crashedEpoch := anchor.Epoch
+	// Restore the log head recorded by the last checkpoint; the records
+	// below it were discarded by the previous incarnation.
+	s.log.TruncateHead(anchor.Head)
+
+	typ, payload, err := s.log.ReadRecord(anchor.CheckpointLSN)
+	if err != nil {
+		return nil, fmt.Errorf("reading MSP checkpoint at %d: %w", anchor.CheckpointLSN, err)
+	}
+	if logrec.Type(typ) != logrec.TMSPCheckpoint {
+		return nil, fmt.Errorf("anchor points at %v, not an MSP checkpoint", logrec.Type(typ))
+	}
+	ck, err := logrec.DecodeMSPCheckpoint(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.know.Restore(ck.Knowledge)
+
+	// The scan starts from the minimal LSN over every session's and
+	// shared variable's most recent checkpoint (§3.4).
+	min := anchor.CheckpointLSN
+	lower := func(lsn wal.LSN) {
+		if lsn != 0 && lsn < min {
+			min = lsn
+		}
+	}
+	for _, sp := range ck.Sessions {
+		if sp.CkptLSN != 0 {
+			lower(sp.CkptLSN)
+		} else {
+			lower(sp.StartLSN)
+		}
+	}
+	for _, sh := range ck.Shared {
+		if sh.CkptLSN != 0 {
+			lower(sh.CkptLSN)
+		} else {
+			lower(sh.FirstWrite)
+		}
+	}
+
+	last, err := s.analysisScan(min)
+	if err != nil {
+		return nil, err
+	}
+	s.log.InvalidateCache()
+
+	// The largest persistent LSN is the recovered state number; the epoch
+	// advances to a new failure-free period. An epoch's recovered state
+	// number is determined exactly once: if a previous, interrupted run
+	// of this recovery already recorded (and possibly broadcast) a number
+	// for the crashed epoch, that number stands — records that became
+	// durable after it belong to the interrupted incarnation's epoch.
+	recovered := int64(last)
+	if prior, ok := s.know.Lookup(s.selfID(), crashedEpoch); ok {
+		recovered = prior
+	}
+	s.epoch.Store(crashedEpoch + 1)
+	info := dv.RecoveryInfo{Process: s.selfID(), CrashedEpoch: crashedEpoch, Recovered: recovered}
+	s.know.Record(info)
+	rec := logrec.RecoveryInfo{Process: string(info.Process), CrashedEpoch: info.CrashedEpoch,
+		Recovered: wal.LSN(info.Recovered)}
+	riLSN, _, err := s.appendRec(logrec.TRecoveryInfo, rec.Encode())
+	if err != nil {
+		return nil, err
+	}
+	// The new epoch and the recovered state number must be durable BEFORE
+	// the broadcast: if we crash mid-recovery after peers have heard the
+	// announcement, the next incarnation must neither reuse this epoch
+	// (its LSNs would collide with ours) nor announce a different number
+	// for the crashed epoch.
+	if err := s.log.Flush(riLSN); err != nil {
+		return nil, err
+	}
+	if err := s.log.WriteAnchor(wal.Anchor{Epoch: crashedEpoch + 1,
+		CheckpointLSN: anchor.CheckpointLSN, Head: s.log.Head()}); err != nil {
+		return nil, err
+	}
+
+	// Broadcast within the service domain; peers return their knowledge
+	// so we also learn about crashes broadcast while we were down.
+	learned := s.cfg.Domain.broadcast(s.cfg.ID, info)
+	for _, l := range learned {
+		if s.know.Record(l) {
+			lr := logrec.RecoveryInfo{Process: string(l.Process), CrashedEpoch: l.CrashedEpoch,
+				Recovered: wal.LSN(l.Recovered)}
+			if _, _, err := s.appendRec(logrec.TRecoveryInfo, lr.Encode()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := s.writeMSPCheckpoint(); err != nil {
+		return nil, err
+	}
+
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sess.beginRecoveryUnconditional()
+		sessions = append(sessions, sess)
+	}
+	return sessions, nil
+}
+
+// analysisScan is the single-threaded scan of Fig. 12's step 2. It
+// returns the LSN of the last valid (persistent) record.
+func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
+	shell := func(id string) *Session {
+		sess, ok := s.sessions[id]
+		if !ok {
+			sess = newSession(s, id, "", false)
+			s.sessions[id] = sess
+		}
+		return sess
+	}
+	return s.log.Scan(from, func(lsn wal.LSN, typ byte, payload []byte) error {
+		n := len(payload) + 9
+		switch logrec.Type(typ) {
+		case logrec.TSessionStart:
+			rec, err := logrec.DecodeSessionStart(payload)
+			if err != nil {
+				return err
+			}
+			shell(rec.Session).scanStart(rec, lsn, n)
+		case logrec.TSessionCkpt:
+			rec, err := logrec.DecodeSessionCheckpoint(payload)
+			if err != nil {
+				return err
+			}
+			sess := shell(rec.Session)
+			sess.restoreFromCheckpoint(rec, lsn)
+			sess.scanCheckpointReset()
+		case logrec.TReqReceive:
+			rec, err := logrec.DecodeReqReceive(payload)
+			if err != nil {
+				return err
+			}
+			shell(rec.Session).scanNote(lsn, n)
+		case logrec.TReplyReceive:
+			rec, err := logrec.DecodeReplyReceive(payload)
+			if err != nil {
+				return err
+			}
+			shell(rec.Session).scanNote(lsn, n)
+		case logrec.TSharedRead:
+			rec, err := logrec.DecodeSharedRead(payload)
+			if err != nil {
+				return err
+			}
+			shell(rec.Session).scanNote(lsn, n)
+		case logrec.TSharedWrite:
+			rec, err := logrec.DecodeSharedWrite(payload)
+			if err != nil {
+				return err
+			}
+			shell(rec.Session).scanNote(lsn, n)
+			if sv := s.shared[rec.Var]; sv != nil {
+				sv.applyScanWrite(rec, lsn)
+			}
+		case logrec.TSVCheckpoint:
+			rec, err := logrec.DecodeSVCheckpoint(payload)
+			if err != nil {
+				return err
+			}
+			if sv := s.shared[rec.Var]; sv != nil {
+				sv.applyScanCheckpoint(rec, lsn)
+			}
+		case logrec.TEOS:
+			rec, err := logrec.DecodeEOS(payload)
+			if err != nil {
+				return err
+			}
+			// Records between the orphan record and this EOS were skipped
+			// by a past orphan recovery: make them invisible (§4.1).
+			if sess, ok := s.sessions[rec.Session]; ok {
+				sess.pos.removeRange(rec.Orphan, lsn)
+			}
+		case logrec.TSessionEnd:
+			rec, err := logrec.DecodeSessionEnd(payload)
+			if err != nil {
+				return err
+			}
+			delete(s.sessions, rec.Session)
+		case logrec.TRecoveryInfo:
+			rec, err := logrec.DecodeRecoveryInfo(payload)
+			if err != nil {
+				return err
+			}
+			s.know.Record(dv.RecoveryInfo{Process: dv.ProcessID(rec.Process),
+				CrashedEpoch: rec.CrashedEpoch, Recovered: int64(rec.Recovered)})
+		case logrec.TMSPCheckpoint:
+			rec, err := logrec.DecodeMSPCheckpoint(payload)
+			if err != nil {
+				return err
+			}
+			s.know.Restore(rec.Knowledge)
+		}
+		return nil
+	})
+}
+
+// runSessionRecovery replays a session to its most recent non-orphan
+// state (§4.1). The loop restarts replay from the checkpoint when another
+// MSP crash mid-recovery retroactively orphans an already-replayed record
+// (multiple concurrent crashes, Fig. 11).
+func (s *Server) runSessionRecovery(sess *Session) {
+	if !s.cfg.Logging {
+		sess.finishRecovery()
+		return
+	}
+	s.stats.OrphanRecoveries.Add(1)
+	for {
+		restart, err := s.replaySessionOnce(sess)
+		if err != nil || !restart {
+			break
+		}
+		// A crash underneath us must not leave this loop spinning (the
+		// crashed server's Crash() waits for its workers).
+		if s.getState() == stateCrashed {
+			break
+		}
+	}
+	sess.finishRecovery()
+}
+
+// replaySessionOnce re-initializes the session from its most recent
+// checkpoint and replays the logged requests along its position stream.
+// It reports restart=true if replay must start over due to a concurrent
+// crash.
+func (s *Server) replaySessionOnce(sess *Session) (restart bool, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch r.(type) {
+		case replayRestart:
+			restart = true
+		case crashAbort:
+			err = errUnavailable
+		default:
+			panic(r)
+		}
+	}()
+
+	if ckpt := sess.lastCkpt(); ckpt != 0 {
+		typ, payload, rerr := s.log.ReadRecord(ckpt)
+		if rerr != nil {
+			return false, fmt.Errorf("core: reading session checkpoint at %d: %w", ckpt, rerr)
+		}
+		if logrec.Type(typ) != logrec.TSessionCkpt {
+			return false, fmt.Errorf("core: %d is %v, not a session checkpoint", ckpt, logrec.Type(typ))
+		}
+		rec, derr := logrec.DecodeSessionCheckpoint(payload)
+		if derr != nil {
+			return false, derr
+		}
+		sess.restoreFromCheckpoint(rec, ckpt)
+	} else {
+		sess.resetToInitial()
+	}
+
+	rp := &replayState{positions: sess.pos.snapshot()}
+	ctx := &Ctx{srv: s, sess: sess, mode: modeReplay, rp: rp}
+
+	for rp.idx < len(rp.positions) && !rp.switched {
+		// Retroactive orphan check: a recovery message that arrived since
+		// we merged a DV may have orphaned the session mid-replay.
+		if _, orphan := s.know.OrphanIn(sess.vecLocked()); orphan {
+			return true, nil
+		}
+		lsn := rp.positions[rp.idx]
+		typ, payload, rerr := s.log.ReadRecord(lsn)
+		if rerr != nil {
+			return false, fmt.Errorf("core: replay read at %d: %w", lsn, rerr)
+		}
+		switch logrec.Type(typ) {
+		case logrec.TSessionStart:
+			rp.idx++
+			sess.replayAdvance(lsn)
+		case logrec.TReqReceive:
+			rec, derr := logrec.DecodeReqReceive(payload)
+			if derr != nil {
+				return false, derr
+			}
+			if rec.HasDV {
+				if _, orphan := s.know.OrphanIn(rec.DV); orphan {
+					// Orphan log record at a request boundary: skip it and
+					// everything after; the session then waits for new
+					// requests (the intra-domain client recovers too and
+					// resends).
+					ctx.switchToLive(lsn, true)
+					return false, nil
+				}
+			}
+			rp.idx++
+			sess.replayReceive(lsn, rec.DV)
+			s.replayRequest(ctx, sess, rec)
+			if rp.switched {
+				return false, nil
+			}
+		case logrec.TSessionEnd, logrec.TEOS:
+			rp.idx++ // defensive: these never drive replay
+		default:
+			// A bare shared access or reply at top level belongs to a
+			// request aborted by the recovery machinery; skip it.
+			rp.idx++
+		}
+	}
+	return false, nil
+}
+
+// replayRequest re-executes one logged request. If replay switches to
+// live execution mid-method (orphan found or log exhausted), the method
+// completes for real and its reply is sent; otherwise the regenerated
+// reply is only buffered — the client's resend will fetch it.
+func (s *Server) replayRequest(ctx *Ctx, sess *Session, rec logrec.ReqReceive) {
+	if rec.Method == "" {
+		return
+	}
+	ctx.reqSeq = rec.Seq
+	h := s.cfg.Def.Methods[rec.Method]
+	if h == nil {
+		// The method disappeared from the definition between incarnations;
+		// nothing can be replayed deterministically.
+		panic(fmt.Errorf("core: replay of unknown method %q", rec.Method))
+	}
+	out, appErr := h(ctx, rec.Arg)
+	rep := rpc.Reply{Session: sess.id, Seq: rec.Seq, Status: rpc.StatusOK, Payload: out}
+	if appErr != nil {
+		rep.Status = rpc.StatusAppError
+		rep.Payload = []byte(appErr.Error())
+	}
+	sess.bufferReply(rep)
+	sess.seq.Advance(rec.Seq)
+	if ctx.rp.switched {
+		// Live completion: deliver the reply through the normal path.
+		if !s.sendReply(sess, sess.clientAddress(), rep) {
+			panic(replayRestart{})
+		}
+	} else {
+		s.stats.RequestsReplayed.Add(1)
+	}
+}

@@ -1,0 +1,869 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mspr/internal/dv"
+	"mspr/internal/logrec"
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+	"mspr/internal/wal"
+)
+
+// Sentinel errors used across the recovery protocol.
+var (
+	// errOrphanDep reports that a distributed log flush failed because a
+	// dependency refers to state lost in a crash: the flushing session or
+	// shared variable is an orphan (§3.1, §4.1).
+	errOrphanDep = errors.New("core: dependency is an orphan")
+	// errUnavailable reports that a peer MSP is down or still recovering.
+	errUnavailable = errors.New("core: peer unavailable")
+)
+
+// orphanAbort is panicked through a service method when an interception
+// point finds the executing session to be an orphan; the request
+// dispatcher recovers it and initiates session orphan recovery.
+type orphanAbort struct{}
+
+// crashAbort is panicked through a service method when the server crashes
+// underneath it (log closed); the request is abandoned.
+type crashAbort struct{ err error }
+
+// replayRestart is panicked through a replaying method when mid-replay
+// knowledge updates reveal the session became an orphan at an
+// already-replayed record; replay restarts from the checkpoint (multiple
+// concurrent crashes, §4.1).
+type replayRestart struct{}
+
+type serverState int32
+
+const (
+	stateRecovering serverState = iota
+	stateRunning
+	stateCrashed
+)
+
+// Server is a Middleware Server Process (MSP): a crash unit hosting many
+// sessions (the recovery units) and shared variables, all logging to one
+// physical log.
+type Server struct {
+	cfg Config
+	ep  *simnet.Endpoint
+	log *wal.Log
+
+	know  *dv.Knowledge
+	epoch atomic.Uint32 // current epoch (failure-free period)
+
+	mu       sync.Mutex
+	state    serverState
+	sessions map[string]*Session
+	shared   map[string]*SharedVar
+
+	reqCh chan rpc.Request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	pending pendingCalls
+
+	bytesSinceCkpt atomic.Int64
+	ckptRunning    atomic.Bool
+	lastMSPCkpt    wal.LSN
+
+	stats ServerStats
+}
+
+// ServerStats counts recovery-infrastructure activity.
+type ServerStats struct {
+	RequestsServed   atomic.Int64
+	RequestsReplayed atomic.Int64
+	SessionCkpts     atomic.Int64
+	SVCkpts          atomic.Int64
+	MSPCkpts         atomic.Int64
+	OrphanRecoveries atomic.Int64
+	SVRollbacks      atomic.Int64
+	DistFlushes      atomic.Int64
+	BusyReplies      atomic.Int64
+}
+
+// Start creates and starts an MSP. If the configured disk holds a log
+// with an anchor from a previous incarnation, Start performs full MSP
+// crash recovery (§4.3) before accepting requests: sessions recover in
+// parallel while new sessions are already being served.
+func Start(cfg Config) (*Server, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("core: config needs an ID")
+	}
+	if cfg.Domain == nil {
+		return nil, errors.New("core: config needs a Domain")
+	}
+	if cfg.Net == nil {
+		return nil, errors.New("core: config needs a Net")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 32
+	}
+	s := &Server{
+		cfg:      cfg,
+		know:     dv.NewKnowledge(),
+		state:    stateRecovering,
+		sessions: make(map[string]*Session),
+		shared:   make(map[string]*SharedVar),
+		reqCh:    make(chan rpc.Request, 4096),
+		stop:     make(chan struct{}),
+	}
+	s.epoch.Store(1) // epoch 1 is the first failure-free period
+	s.pending.m = make(map[string]chan rpc.Reply)
+	for _, def := range cfg.Def.Shared {
+		s.shared[def.Name] = newSharedVar(s, def)
+	}
+	s.ep = cfg.Net.Endpoint(simnet.Addr(cfg.ID))
+	s.ep.SetDown(false)
+
+	var recoveredSessions []*Session
+	if cfg.Logging {
+		if cfg.Disk == nil {
+			return nil, errors.New("core: logging requires a Disk")
+		}
+		lg, err := wal.Open(cfg.Disk, cfg.ID+".log", wal.Config{BatchTimeout: cfg.BatchFlushTimeout})
+		if err != nil {
+			return nil, err
+		}
+		s.log = lg
+		cfg.Domain.register(s)
+		anchor, ok, err := lg.ReadAnchor()
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", cfg.ID, err)
+		}
+		if ok {
+			recoveredSessions, err = s.recoverFromCrash(anchor)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: crash recovery: %w", cfg.ID, err)
+			}
+		} else {
+			// Fresh start: persist an initial MSP checkpoint and anchor so
+			// the very first crash already finds a recovery starting point.
+			if err := s.writeMSPCheckpoint(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		cfg.Domain.register(s)
+	}
+
+	s.setState(stateRunning)
+	s.wg.Add(1)
+	go s.receiveLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	// Sessions restored from the log recover in parallel (§4.3) while the
+	// MSP serves new sessions; their clients get Busy until replay ends.
+	// (SerialRecovery replays them one by one — ablation only.)
+	if cfg.SerialRecovery {
+		s.goBackground(func() {
+			for _, sess := range recoveredSessions {
+				s.runSessionRecovery(sess)
+			}
+		})
+	} else {
+		for _, sess := range recoveredSessions {
+			sess := sess
+			s.goBackground(func() { s.runSessionRecovery(sess) })
+		}
+	}
+	return s, nil
+}
+
+// RecoveringSessions reports how many sessions are still replaying.
+// Experiment harnesses poll it to time recovery.
+func (s *Server) RecoveringSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sess := range s.sessions {
+		if sess.recovering() {
+			n++
+		}
+	}
+	return n
+}
+
+// goBackground runs f on a tracked goroutine unless the server has
+// crashed; the state check and WaitGroup increment are atomic with
+// respect to Crash, so Crash's Wait never races an Add.
+func (s *Server) goBackground(f func()) bool {
+	s.mu.Lock()
+	if s.state == stateCrashed {
+		s.mu.Unlock()
+		return false
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		f()
+	}()
+	return true
+}
+
+// ID returns the MSP's process identifier.
+func (s *Server) ID() string { return s.cfg.ID }
+
+// Epoch returns the MSP's current epoch number.
+func (s *Server) Epoch() uint32 { return s.epoch.Load() }
+
+// Stats exposes the server's activity counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// Log exposes the server's physical log (nil when logging is disabled).
+// Tests and experiment harnesses use it to inspect durability.
+func (s *Server) Log() *wal.Log { return s.log }
+
+func (s *Server) setState(st serverState) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+func (s *Server) getState() serverState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Crash kills the MSP: the network endpoint goes down, workers stop, and
+// every volatile structure — including the log buffer and all session,
+// shared-variable and dependency state — is abandoned. Only data flushed
+// to the disk survives into the next Start.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	if s.state == stateCrashed {
+		s.mu.Unlock()
+		return
+	}
+	s.state = stateCrashed
+	s.mu.Unlock()
+	s.ep.SetDown(true)
+	close(s.stop)
+	if s.log != nil {
+		s.log.Close() // discards the volatile buffer, like a real crash
+	}
+	s.wg.Wait()
+}
+
+// Shutdown stops the MSP cleanly: the log is flushed first so a
+// subsequent Start recovers the complete state.
+func (s *Server) Shutdown() {
+	if s.log != nil {
+		if last := s.log.LastAppended(); last != 0 {
+			_ = s.log.Flush(last)
+		}
+	}
+	s.Crash()
+}
+
+// receiveLoop dispatches network messages: requests to the worker pool,
+// replies to waiting outgoing calls.
+func (s *Server) receiveLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case m := <-s.ep.Recv():
+			switch p := m.Payload.(type) {
+			case rpc.Request:
+				select {
+				case s.reqCh <- p:
+				default:
+					// Request queue overflow: drop; the client resends.
+				}
+			case rpc.Reply:
+				s.pending.resolve(p)
+			}
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.reqCh:
+			s.handleRequest(req)
+		}
+	}
+}
+
+// reply sends a reply envelope to addr.
+func (s *Server) reply(addr simnet.Addr, rep rpc.Reply) {
+	s.ep.Send(addr, rep)
+}
+
+func (s *Server) replyBusy(req rpc.Request) {
+	s.stats.BusyReplies.Add(1)
+	s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq, Status: rpc.StatusBusy})
+}
+
+// handleRequest implements the server side of Fig. 7 plus session
+// dispatch: duplicate detection, orphan interception, receive logging,
+// method execution, reply buffering and the logging action appropriate to
+// the client's locality.
+func (s *Server) handleRequest(req rpc.Request) {
+	if s.getState() != stateRunning {
+		s.replyBusy(req)
+		return
+	}
+	if _, ok := s.cfg.Def.Methods[req.Method]; !ok && !req.EndSession {
+		s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq, Status: rpc.StatusRejected,
+			Payload: []byte("unknown method " + req.Method)})
+		return
+	}
+
+	sess, status := s.lookupOrCreateSession(req)
+	switch status {
+	case sessionRejected:
+		s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq, Status: rpc.StatusRejected,
+			Payload: []byte("unknown session")})
+		return
+	case sessionBusyNow:
+		// Recovering, checkpointing or already executing: the client
+		// backs off and resends (§5.4).
+		s.replyBusy(req)
+		return
+	}
+	defer sess.release()
+
+	classification := sess.seq.Classify(req.Seq)
+	if s.cfg.StatelessSessions {
+		// Duplicate detection happens below this layer (idempotent
+		// handlers over durable state); execute every delivery.
+		classification = rpc.SeqNew
+	}
+	switch classification {
+	case rpc.SeqIgnore:
+		return
+	case rpc.SeqDuplicate:
+		// The buffered reply may have been lost in the network or in a
+		// client crash; resend it (§3.1).
+		if rep, ok := sess.bufferedReplyEnvelope(); ok {
+			s.sendReply(sess, req.From, rep)
+		}
+		return
+	}
+
+	// Interception point: has this session become an orphan?
+	if s.cfg.Logging {
+		if _, orphan := s.know.OrphanIn(sess.vecLocked()); orphan {
+			s.replyBusy(req)
+			sess.releaseToRecovery()
+			s.runSessionRecovery(sess)
+			return
+		}
+		// Fig. 7, after-receive action for intra-domain messages: if the
+		// attached DV shows the message is an orphan, discard it.
+		if req.HasDV {
+			if _, orphan := s.know.OrphanIn(req.DV); orphan {
+				return
+			}
+		}
+		rec := logrec.ReqReceive{Session: sess.id, Seq: req.Seq, Method: req.Method,
+			Arg: req.Arg, HasDV: req.HasDV, DV: req.DV}
+		lsn, n := s.mustAppend(logrec.TReqReceive, rec.Encode())
+		sess.noteReceive(lsn, n, req.DV)
+	}
+
+	if req.EndSession {
+		s.finishEndSession(sess, req)
+		return
+	}
+
+	out, appErr, aborted := s.invoke(sess, req.Method, req.Seq, req.Arg)
+	if aborted {
+		// The session was found to be an orphan (or the server crashed)
+		// mid-method. No reply: the client resends after recovery.
+		if s.getState() == stateCrashed {
+			return
+		}
+		sess.releaseToRecovery()
+		s.runSessionRecovery(sess)
+		return
+	}
+
+	rep := rpc.Reply{Session: sess.id, Seq: req.Seq, Status: rpc.StatusOK, Payload: out}
+	if appErr != nil {
+		rep.Status = rpc.StatusAppError
+		rep.Payload = []byte(appErr.Error())
+	}
+	sess.bufferReply(rep)
+	sess.seq.Advance(req.Seq)
+	if !s.sendReply(sess, req.From, rep) {
+		sess.releaseToRecovery()
+		s.runSessionRecovery(sess)
+		return
+	}
+	s.stats.RequestsServed.Add(1)
+
+	// Between requests: session checkpoint when the session has consumed
+	// enough log (§3.2), and an MSP fuzzy checkpoint when the log grew
+	// enough (§3.4).
+	if s.cfg.Logging && s.cfg.SessionCkptThreshold > 0 && sess.logged() >= s.cfg.SessionCkptThreshold {
+		if err := s.checkpointSession(sess); errors.Is(err, errOrphanDep) {
+			sess.releaseToRecovery()
+			s.runSessionRecovery(sess)
+			return
+		}
+	}
+	s.maybeMSPCheckpoint()
+}
+
+// sendReply transmits a reply according to the client's locality (Fig. 7):
+// intra-domain replies carry the session's DV and require no flush;
+// replies leaving the domain (all end-client replies) require a
+// distributed log flush per the session's DV first. It returns false if
+// the flush discovered the session to be an orphan (the reply is dropped
+// and the caller initiates orphan recovery).
+func (s *Server) sendReply(sess *Session, to simnet.Addr, rep rpc.Reply) bool {
+	if s.cfg.Logging {
+		if sess.intraDomain {
+			rep.HasDV = true
+			rep.DV = sess.vecWithSelf()
+		} else {
+			if err := s.distributedFlush(sess.vecWithSelf()); err != nil {
+				return false
+			}
+		}
+	}
+	s.reply(to, rep)
+	return true
+}
+
+func (s *Server) finishEndSession(sess *Session, req rpc.Request) {
+	if s.cfg.Logging {
+		lsn, n := s.mustAppend(logrec.TSessionEnd, logrec.SessionEnd{Session: sess.id}.Encode())
+		sess.noteOwnRecord(lsn, n)
+	}
+	rep := rpc.Reply{Session: sess.id, Seq: req.Seq, Status: rpc.StatusOK}
+	sess.bufferReply(rep)
+	sess.seq.Advance(req.Seq)
+	if s.sendReply(sess, req.From, rep) {
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		sess.markEnded()
+	}
+}
+
+type sessionStatus int
+
+const (
+	sessionOK sessionStatus = iota
+	sessionRejected
+	sessionBusyNow
+)
+
+// lookupOrCreateSession finds the request's session, creating it for a
+// NewSession request, and acquires it for exclusive processing. Creation
+// appends the SessionStart record while holding the server lock, so a
+// session visible to the fuzzy checkpointer always has its start
+// position set — the log head never advances past a live session's
+// records.
+func (s *Server) lookupOrCreateSession(req rpc.Request) (*Session, sessionStatus) {
+	s.mu.Lock()
+	sess, ok := s.sessions[req.Session]
+	if !ok {
+		if !req.NewSession && !s.cfg.StatelessSessions {
+			s.mu.Unlock()
+			return nil, sessionRejected
+		}
+		sess = newSession(s, req.Session, req.From, req.HasDV)
+		if s.cfg.Logging {
+			rec := logrec.SessionStart{Session: sess.id, ClientAddr: string(req.From), IntraDomain: req.HasDV}
+			lsn, n, err := s.appendRec(logrec.TSessionStart, rec.Encode())
+			if err != nil {
+				s.mu.Unlock()
+				return nil, sessionBusyNow // crashing underneath us
+			}
+			sess.noteStart(lsn, n)
+		}
+		s.sessions[req.Session] = sess
+	}
+	s.mu.Unlock()
+	if !sess.tryAcquire() {
+		return nil, sessionBusyNow
+	}
+	return sess, sessionOK
+}
+
+// invoke runs a service method in normal-execution mode, converting the
+// orphan/crash abort panics into an aborted flag.
+func (s *Server) invoke(sess *Session, method string, seq uint64, arg []byte) (out []byte, appErr error, aborted bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch r.(type) {
+		case orphanAbort, crashAbort:
+			aborted = true
+		default:
+			panic(r)
+		}
+	}()
+	ctx := &Ctx{srv: s, sess: sess, reqSeq: seq}
+	out, appErr = s.cfg.Def.Methods[method](ctx, arg)
+	return out, appErr, false
+}
+
+// mustAppend writes a log record, panicking with crashAbort if the log
+// has been closed by a concurrent crash. It returns the record's LSN and
+// on-log size.
+func (s *Server) mustAppend(t logrec.Type, payload []byte) (wal.LSN, int) {
+	lsn, err := s.log.Append(byte(t), payload)
+	if err != nil {
+		panic(crashAbort{err})
+	}
+	n := len(payload) + 9 // frame overhead
+	s.bytesSinceCkpt.Add(int64(n))
+	return lsn, n
+}
+
+// appendRec is mustAppend without the panic, for recovery-time paths.
+func (s *Server) appendRec(t logrec.Type, payload []byte) (wal.LSN, int, error) {
+	lsn, err := s.log.Append(byte(t), payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := len(payload) + 9
+	s.bytesSinceCkpt.Add(int64(n))
+	return lsn, n, nil
+}
+
+// selfState returns the MSP's state identifier factory values for
+// building self-dependencies.
+func (s *Server) selfID() dv.ProcessID { return dv.ProcessID(s.cfg.ID) }
+
+// distributedFlush performs the distributed log flush dictated by a
+// dependency vector (§3.1): the local flush and one flush request per
+// peer MSP in the vector, all in parallel. It returns errOrphanDep if any
+// dependency turns out to be an orphan.
+func (s *Server) distributedFlush(vec dv.Vector) error {
+	if !s.cfg.Logging {
+		return nil
+	}
+	s.stats.DistFlushes.Add(1)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil || errors.Is(err, errOrphanDep) {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for p, sid := range vec {
+		wg.Add(1)
+		go func(p dv.ProcessID, sid dv.StateID) {
+			defer wg.Done()
+			if p == s.selfID() {
+				if err := s.flushTo(sid); err != nil {
+					fail(err)
+				}
+				return
+			}
+			if !s.cfg.Domain.Contains(string(p)) {
+				fail(fmt.Errorf("core: dependency on %s outside service domain", p))
+				return
+			}
+			if err := s.flushPeerWithRetry(p, sid); err != nil {
+				fail(err)
+			}
+		}(p, sid)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// flushPeerWithRetry asks a peer to flush, retrying while the peer is
+// down. It converges: either the peer comes back and flushes, or the
+// peer's recovery broadcast shows the dependency to be an orphan.
+func (s *Server) flushPeerWithRetry(p dv.ProcessID, sid dv.StateID) error {
+	backoff := time.Duration(float64(20*time.Millisecond) * s.cfg.TimeScale)
+	if backoff <= 0 {
+		backoff = 100 * time.Microsecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := s.cfg.Domain.flushPeer(string(p), sid)
+		if err == nil || errors.Is(err, errOrphanDep) {
+			return err
+		}
+		// Peer down or recovering: has its broadcast already shown us to
+		// be an orphan?
+		if s.know.IsOrphan(p, sid) {
+			return errOrphanDep
+		}
+		if s.getState() == stateCrashed {
+			return errUnavailable
+		}
+		if attempt > 10_000 {
+			return fmt.Errorf("core: peer %s unreachable: %w", p, errUnavailable)
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// flushTo services a flush request for this MSP's own state (local part
+// of a distributed flush, or a peer's request): state from the current
+// epoch is flushed; state from an earlier epoch either already survived
+// (≤ the recovered state number) or is an orphan.
+func (s *Server) flushTo(sid dv.StateID) error {
+	s.mu.Lock()
+	st := s.state
+	s.mu.Unlock()
+	epoch := s.epoch.Load()
+	if st == stateCrashed || st == stateRecovering {
+		return errUnavailable
+	}
+	switch {
+	case sid.Epoch == epoch:
+		if wal.LSN(sid.LSN) >= s.log.Next() {
+			// A state number this incarnation never assigned: the
+			// dependency refers to state that cannot exist (it belonged
+			// to a lost incarnation). Epoch durability makes this
+			// unreachable; report the dependency unsatisfiable.
+			return errOrphanDep
+		}
+		return s.log.Flush(wal.LSN(sid.LSN))
+	case sid.Epoch < epoch:
+		if s.know.IsOrphan(s.selfID(), sid) {
+			return errOrphanDep
+		}
+		return nil // survived the crash; already durable
+	default:
+		return errUnavailable
+	}
+}
+
+// onRecoveryInfo receives a peer's recovery broadcast: the MSP logs and
+// remembers the recovered state number, then checks idle sessions for
+// orphanhood (§4.1). It returns a snapshot of this MSP's own knowledge so
+// a recovering peer can catch up on broadcasts it slept through.
+func (s *Server) onRecoveryInfo(info dv.RecoveryInfo) []dv.RecoveryInfo {
+	s.mu.Lock()
+	st := s.state
+	s.mu.Unlock()
+	if st == stateCrashed {
+		return nil
+	}
+	isNew := s.know.Record(info)
+	if isNew && s.cfg.Logging && s.log != nil {
+		rec := logrec.RecoveryInfo{Process: string(info.Process), CrashedEpoch: info.CrashedEpoch,
+			Recovered: wal.LSN(info.Recovered)}
+		_, _, _ = s.appendRec(logrec.TRecoveryInfo, rec.Encode())
+	}
+	if isNew && st == stateRunning {
+		s.sweepOrphanSessions()
+	}
+	return s.know.Snapshot()
+}
+
+// sweepOrphanSessions starts orphan recovery for every idle session whose
+// DV has become an orphan. Busy sessions are caught at their next
+// interception point.
+func (s *Server) sweepOrphanSessions() {
+	s.mu.Lock()
+	var found []*Session
+	for _, sess := range s.sessions {
+		if _, orphan := s.know.OrphanIn(sess.vecLocked()); orphan && sess.tryBeginRecovery() {
+			found = append(found, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range found {
+		sess := sess
+		if !s.goBackground(func() { s.runSessionRecovery(sess) }) {
+			sess.finishRecovery()
+		}
+	}
+}
+
+// maybeMSPCheckpoint takes a fuzzy MSP checkpoint if enough log has been
+// written since the last one. The checkpoint runs concurrently with
+// request processing ("ongoing session activities are not blocked").
+func (s *Server) maybeMSPCheckpoint() {
+	if !s.cfg.Logging || s.cfg.MSPCkptEvery <= 0 {
+		return
+	}
+	if s.bytesSinceCkpt.Load() < s.cfg.MSPCkptEvery {
+		return
+	}
+	if !s.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	if !s.goBackground(func() {
+		defer s.ckptRunning.Store(false)
+		if err := s.writeMSPCheckpoint(); err != nil {
+			return
+		}
+		s.forceStaleCheckpoints()
+	}) {
+		s.ckptRunning.Store(false)
+	}
+}
+
+// writeMSPCheckpoint takes a fuzzy MSP checkpoint (§3.4): the knowledge of
+// recovered state numbers plus each session's and shared variable's most
+// recent checkpoint position, then records the checkpoint's LSN in the
+// log anchor.
+func (s *Server) writeMSPCheckpoint() error {
+	ck := logrec.MSPCheckpoint{
+		Epoch:     s.epoch.Load(),
+		Knowledge: s.know.Snapshot(),
+	}
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		cp, start := sess.ckptPositions()
+		ck.Sessions = append(ck.Sessions, logrec.SessionPos{ID: sess.id, CkptLSN: cp, StartLSN: start})
+		sess.bumpMSPCkptAge()
+	}
+	for _, sv := range s.shared {
+		cp, first := sv.ckptPositions()
+		ck.Shared = append(ck.Shared, logrec.SharedPos{Name: sv.name, CkptLSN: cp, FirstWrite: first})
+		sv.bumpMSPCkptAge()
+	}
+	s.mu.Unlock()
+
+	lsn, _, err := s.appendRec(logrec.TMSPCheckpoint, ck.Encode())
+	if err != nil {
+		return err
+	}
+	if err := s.log.Flush(lsn); err != nil {
+		return err
+	}
+	// The minimal checkpoint position is both the crash-recovery scan
+	// start and the new log head: everything below it is dead (§3.4).
+	head := lsn
+	lower := func(p wal.LSN) {
+		if p != 0 && p < head {
+			head = p
+		}
+	}
+	for _, sp := range ck.Sessions {
+		if sp.CkptLSN != 0 {
+			lower(sp.CkptLSN)
+		} else {
+			lower(sp.StartLSN)
+		}
+	}
+	for _, sh := range ck.Shared {
+		if sh.CkptLSN != 0 {
+			lower(sh.CkptLSN)
+		} else {
+			lower(sh.FirstWrite)
+		}
+	}
+	if err := s.log.WriteAnchor(wal.Anchor{Epoch: s.epoch.Load(), CheckpointLSN: lsn, Head: head}); err != nil {
+		return err
+	}
+	// Only after the anchor is durable may the old records be discarded.
+	s.log.TruncateHead(head)
+	s.lastMSPCkpt = lsn
+	s.bytesSinceCkpt.Store(0)
+	s.stats.MSPCkpts.Add(1)
+	return nil
+}
+
+// forceStaleCheckpoints forces a checkpoint for sessions and shared
+// variables that have not checkpointed across several MSP checkpoints, so
+// the minimal LSN (the crash-recovery scan start) keeps advancing (§3.4).
+func (s *Server) forceStaleCheckpoints() {
+	if s.cfg.ForceCkptAfter <= 0 {
+		return
+	}
+	s.mu.Lock()
+	var staleSessions []*Session
+	var staleVars []*SharedVar
+	for _, sess := range s.sessions {
+		if sess.mspCkptAge() >= s.cfg.ForceCkptAfter {
+			staleSessions = append(staleSessions, sess)
+		}
+	}
+	for _, sv := range s.shared {
+		if sv.mspCkptAge() >= s.cfg.ForceCkptAfter && sv.written() {
+			staleVars = append(staleVars, sv)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range staleSessions {
+		if !sess.tryAcquire() {
+			continue // busy or recovering; it will checkpoint on its own
+		}
+		_ = s.checkpointSession(sess)
+		sess.release()
+	}
+	for _, sv := range staleVars {
+		sv.forceCheckpoint()
+	}
+}
+
+// checkpointSession takes a session checkpoint (§3.2): a distributed log
+// flush per the session's DV (so the checkpointed state can never be an
+// orphan), then one record holding the complete session state. The caller
+// must hold the session (acquired).
+func (s *Server) checkpointSession(sess *Session) error {
+	if err := s.distributedFlush(sess.vecWithSelf()); err != nil {
+		return err
+	}
+	rec := sess.checkpointRecord()
+	lsn, _, err := s.appendRec(logrec.TSessionCkpt, rec.Encode())
+	if err != nil {
+		return err
+	}
+	sess.completeCheckpoint(lsn)
+	s.stats.SessionCkpts.Add(1)
+	return nil
+}
+
+// pendingCalls routes incoming replies to the worker goroutines blocked
+// in outgoing calls, keyed by outgoing-session ID.
+type pendingCalls struct {
+	mu sync.Mutex
+	m  map[string]chan rpc.Reply
+}
+
+func (p *pendingCalls) register(id string) chan rpc.Reply {
+	ch := make(chan rpc.Reply, 16)
+	p.mu.Lock()
+	p.m[id] = ch
+	p.mu.Unlock()
+	return ch
+}
+
+func (p *pendingCalls) deregister(id string) {
+	p.mu.Lock()
+	delete(p.m, id)
+	p.mu.Unlock()
+}
+
+func (p *pendingCalls) resolve(rep rpc.Reply) {
+	p.mu.Lock()
+	ch := p.m[rep.Session]
+	p.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- rep:
+	default:
+	}
+}

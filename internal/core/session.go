@@ -1,0 +1,446 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"mspr/internal/dv"
+	"mspr/internal/logrec"
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+	"mspr/internal/wal"
+)
+
+// sessionPhase tracks what a session is doing. Phases matter for recovery
+// scheduling: orphan recovery starts immediately for idle sessions and at
+// the next interception point for busy ones (§4.1).
+type sessionPhase int
+
+const (
+	phaseIdle sessionPhase = iota
+	phaseBusy
+	phaseRecovering
+	phaseEnded
+)
+
+// Session is a recovery unit (§3.2): the private state an MSP keeps for
+// one client, together with the dependency-tracking and position-stream
+// bookkeeping that lets the session be recovered independently of every
+// other session.
+type Session struct {
+	id  string
+	srv *Server
+
+	mu          sync.Mutex
+	phase       sessionPhase
+	clientAddr  simnet.Addr
+	intraDomain bool
+
+	vars     map[string][]byte
+	vec      dv.Vector // dependencies on other states (self added on demand)
+	stateLSN wal.LSN   // state number: LSN of this session's most recent log record
+
+	seq      *rpc.SeqTracker
+	reply    rpc.Reply
+	hasReply bool
+
+	outgoing map[string]*outSession // keyed by target MSP ID
+
+	pos          *posStream
+	bytesLogged  int64   // log consumed since the last session checkpoint
+	startLSN     wal.LSN // LSN of the session's first log record
+	lastCkptLSN  wal.LSN // LSN of the most recent session checkpoint (0 = none)
+	mspCkptsPast int     // MSP checkpoints since the last session checkpoint
+}
+
+// outSession is the client side of a session this session started with
+// another MSP (Fig. 3): the recovery-relevant state is the next available
+// request sequence number.
+type outSession struct {
+	id      string
+	target  string
+	nextSeq uint64
+}
+
+func newSession(s *Server, id string, client simnet.Addr, intra bool) *Session {
+	return &Session{
+		id:          id,
+		srv:         s,
+		clientAddr:  client,
+		intraDomain: intra,
+		vars:        make(map[string][]byte),
+		seq:         rpc.NewSeqTracker(1),
+		outgoing:    make(map[string]*outSession),
+		pos:         newPosStream(s.cfg.Disk, s.cfg.ID+"/"+id),
+	}
+}
+
+// ID returns the session identifier.
+func (se *Session) ID() string { return se.id }
+
+// tryAcquire claims the session for exclusive request processing.
+func (se *Session) tryAcquire() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.phase != phaseIdle {
+		return false
+	}
+	se.phase = phaseBusy
+	return true
+}
+
+// release returns the session to idle after processing a request. It is a
+// no-op if the session moved to recovering or ended in the meantime.
+func (se *Session) release() {
+	se.mu.Lock()
+	if se.phase == phaseBusy {
+		se.phase = phaseIdle
+	}
+	se.mu.Unlock()
+}
+
+// releaseToRecovery transitions a busy session into recovery (orphan
+// found at an interception point mid-request).
+func (se *Session) releaseToRecovery() {
+	se.mu.Lock()
+	if se.phase == phaseBusy {
+		se.phase = phaseRecovering
+	}
+	se.mu.Unlock()
+}
+
+// tryBeginRecovery transitions an idle session into recovery (orphan
+// found by the recovery-message sweep).
+func (se *Session) tryBeginRecovery() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.phase != phaseIdle {
+		return false
+	}
+	se.phase = phaseRecovering
+	return true
+}
+
+// finishRecovery returns the session to idle after replay completes.
+func (se *Session) finishRecovery() {
+	se.mu.Lock()
+	if se.phase == phaseRecovering {
+		se.phase = phaseIdle
+	}
+	se.mu.Unlock()
+}
+
+// recovering reports whether the session is currently replaying.
+func (se *Session) recovering() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.phase == phaseRecovering
+}
+
+func (se *Session) markEnded() {
+	se.mu.Lock()
+	se.phase = phaseEnded
+	se.pos.truncateAll()
+	se.mu.Unlock()
+}
+
+// vecSnapshot returns a copy of the session's dependency vector.
+func (se *Session) vecSnapshot() dv.Vector {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.vec.Clone()
+}
+
+// vecLocked returns the vector without copying; callers must not retain
+// or mutate it. Used under the server lock for the orphan sweep.
+func (se *Session) vecLocked() dv.Vector {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.vec
+}
+
+// vecWithSelf returns the session's DV extended with the self-dependency
+// at the session's current state identifier ("a process always depends on
+// itself at its current state identifier").
+func (se *Session) vecWithSelf() dv.Vector {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	v := se.vec.Clone()
+	return v.Set(se.srv.selfID(), dv.StateID{Epoch: se.srv.epoch.Load(), LSN: int64(se.stateLSN)})
+}
+
+// state returns the session's current state identifier.
+func (se *Session) state() dv.StateID {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return dv.StateID{Epoch: se.srv.epoch.Load(), LSN: int64(se.stateLSN)}
+}
+
+// noteStart records the session's SessionStart log record.
+func (se *Session) noteStart(lsn wal.LSN, n int) {
+	se.mu.Lock()
+	se.startLSN = lsn
+	se.stateLSN = lsn
+	se.pos.append(lsn)
+	se.bytesLogged += int64(n)
+	se.mu.Unlock()
+}
+
+// noteOwnRecord advances the session state number to a freshly written
+// log record and accounts it in the position stream.
+func (se *Session) noteOwnRecord(lsn wal.LSN, n int) {
+	se.mu.Lock()
+	se.stateLSN = lsn
+	se.pos.append(lsn)
+	se.bytesLogged += int64(n)
+	se.mu.Unlock()
+}
+
+// notePosOnly appends a record position without advancing the state
+// number (shared-variable writes change the variable's state number, not
+// the session's — Fig. 8).
+func (se *Session) notePosOnly(lsn wal.LSN, n int) {
+	se.mu.Lock()
+	se.pos.append(lsn)
+	se.bytesLogged += int64(n)
+	se.mu.Unlock()
+}
+
+// noteReceive logs the receipt of a message: advance the state number and
+// merge the attached DV (Fig. 7 after-receive actions).
+func (se *Session) noteReceive(lsn wal.LSN, n int, attached dv.Vector) {
+	se.mu.Lock()
+	se.stateLSN = lsn
+	se.pos.append(lsn)
+	se.bytesLogged += int64(n)
+	se.vec = se.vec.Merge(attached)
+	se.mu.Unlock()
+}
+
+// mergeVec folds a DV into the session's DV (shared-variable reads).
+func (se *Session) mergeVec(v dv.Vector) {
+	se.mu.Lock()
+	se.vec = se.vec.Merge(v)
+	se.mu.Unlock()
+}
+
+// logged returns the log consumed since the last session checkpoint.
+func (se *Session) logged() int64 {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.bytesLogged
+}
+
+// bufferReply stores the latest reply so it can be resent if lost (§3.1).
+func (se *Session) bufferReply(rep rpc.Reply) {
+	se.mu.Lock()
+	rep.HasDV = false
+	rep.DV = nil
+	se.reply = rep
+	se.hasReply = true
+	se.mu.Unlock()
+}
+
+// bufferedReplyEnvelope returns the buffered reply for resending.
+func (se *Session) bufferedReplyEnvelope() (rpc.Reply, bool) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.reply, se.hasReply
+}
+
+// outSession returns (creating deterministically if needed) the outgoing
+// session to target. Creation order is deterministic in the method's
+// execution, so replay recreates identical outgoing-session IDs.
+func (se *Session) outSession(target string) *outSession {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	o, ok := se.outgoing[target]
+	if !ok {
+		o = &outSession{
+			id:      se.id + "~" + se.srv.cfg.ID + "~" + target,
+			target:  target,
+			nextSeq: 1,
+		}
+		se.outgoing[target] = o
+	}
+	return o
+}
+
+// ckptPositions returns the session's recovery starting points for
+// inclusion in an MSP checkpoint.
+func (se *Session) ckptPositions() (ckpt, start wal.LSN) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.lastCkptLSN, se.startLSN
+}
+
+func (se *Session) bumpMSPCkptAge() {
+	se.mu.Lock()
+	se.mspCkptsPast++
+	se.mu.Unlock()
+}
+
+func (se *Session) mspCkptAge() int {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.mspCkptsPast
+}
+
+// checkpointRecord snapshots the session state for a session checkpoint
+// (§3.2): session variables, buffered reply, sequence numbers of the
+// inbound session and of every outgoing session, and the session's DV —
+// no control state.
+func (se *Session) checkpointRecord() logrec.SessionCheckpoint {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	rec := logrec.SessionCheckpoint{
+		Session:      se.id,
+		ClientAddr:   string(se.clientAddr),
+		IntraDomain:  se.intraDomain,
+		Vars:         make(map[string][]byte, len(se.vars)),
+		NextExpected: se.seq.Next(),
+		DV:           se.vec.Clone(),
+	}
+	for k, v := range se.vars {
+		rec.Vars[k] = append([]byte(nil), v...)
+	}
+	if se.hasReply {
+		rec.HasReply = true
+		rec.ReplySeq = se.reply.Seq
+		rec.ReplyStatus = byte(se.reply.Status)
+		rec.Reply = append([]byte(nil), se.reply.Payload...)
+	}
+	targets := make([]string, 0, len(se.outgoing))
+	for t := range se.outgoing {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		o := se.outgoing[t]
+		rec.Outgoing = append(rec.Outgoing, logrec.OutSessionState{ID: o.id, Target: o.target, NextSeq: o.nextSeq})
+	}
+	return rec
+}
+
+// completeCheckpoint finishes a session checkpoint: the previous log
+// records are discarded from the position stream and the thresholds
+// reset.
+func (se *Session) completeCheckpoint(lsn wal.LSN) {
+	se.mu.Lock()
+	se.lastCkptLSN = lsn
+	se.stateLSN = lsn
+	se.pos.truncateAll()
+	se.bytesLogged = 0
+	se.mspCkptsPast = 0
+	se.mu.Unlock()
+}
+
+// restoreFromCheckpoint re-initializes the session from a checkpoint
+// record (start of session recovery, §4.1, or crash-recovery scan).
+func (se *Session) restoreFromCheckpoint(rec logrec.SessionCheckpoint, ckptLSN wal.LSN) {
+	se.mu.Lock()
+	se.clientAddr = simnet.Addr(rec.ClientAddr)
+	se.intraDomain = rec.IntraDomain
+	se.vars = make(map[string][]byte, len(rec.Vars))
+	for k, v := range rec.Vars {
+		se.vars[k] = append([]byte(nil), v...)
+	}
+	se.vec = rec.DV.Clone()
+	se.stateLSN = ckptLSN
+	se.seq.SetNext(rec.NextExpected)
+	se.hasReply = rec.HasReply
+	se.reply = rpc.Reply{}
+	if rec.HasReply {
+		se.reply = rpc.Reply{Session: se.id, Seq: rec.ReplySeq, Status: rpc.Status(rec.ReplyStatus),
+			Payload: append([]byte(nil), rec.Reply...)}
+	}
+	se.outgoing = make(map[string]*outSession, len(rec.Outgoing))
+	for _, o := range rec.Outgoing {
+		se.outgoing[o.Target] = &outSession{id: o.ID, target: o.Target, nextSeq: o.NextSeq}
+	}
+	se.lastCkptLSN = ckptLSN
+	se.mu.Unlock()
+}
+
+// replayAdvance moves the session's state number to a replayed record's
+// LSN ("the session's state number and DV are updated in the same way as
+// they were during normal execution", §4.1) without touching the position
+// stream — the record is already in it.
+func (se *Session) replayAdvance(lsn wal.LSN) {
+	se.mu.Lock()
+	se.stateLSN = lsn
+	se.mu.Unlock()
+}
+
+// replayReceive is replayAdvance plus the DV merge of a received message.
+func (se *Session) replayReceive(lsn wal.LSN, attached dv.Vector) {
+	se.mu.Lock()
+	se.stateLSN = lsn
+	se.vec = se.vec.Merge(attached)
+	se.mu.Unlock()
+}
+
+// truncatePositions removes positions ≥ lsn from the stream (orphan
+// recovery end).
+func (se *Session) truncatePositions(lsn wal.LSN) {
+	se.mu.Lock()
+	se.pos.truncateFrom(lsn)
+	se.mu.Unlock()
+}
+
+// lastCkpt returns the LSN of the session's most recent checkpoint.
+func (se *Session) lastCkpt() wal.LSN {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.lastCkptLSN
+}
+
+// clientAddress returns the address replies are sent to.
+func (se *Session) clientAddress() simnet.Addr {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.clientAddr
+}
+
+// scanNote appends a position during the crash-recovery analysis scan.
+func (se *Session) scanNote(lsn wal.LSN, n int) {
+	se.pos.append(lsn)
+	se.bytesLogged += int64(n)
+}
+
+// scanStart applies a SessionStart record during the scan.
+func (se *Session) scanStart(rec logrec.SessionStart, lsn wal.LSN, n int) {
+	se.clientAddr = simnet.Addr(rec.ClientAddr)
+	se.intraDomain = rec.IntraDomain
+	se.startLSN = lsn
+	se.scanNote(lsn, n)
+}
+
+// scanCheckpointReset discards positions before a session checkpoint
+// found by the scan.
+func (se *Session) scanCheckpointReset() {
+	se.pos.truncateAll()
+	se.bytesLogged = 0
+}
+
+// beginRecoveryUnconditional marks the session recovering during MSP
+// crash recovery (before the server serves requests).
+func (se *Session) beginRecoveryUnconditional() {
+	se.mu.Lock()
+	se.phase = phaseRecovering
+	se.mu.Unlock()
+}
+
+// resetToInitial re-initializes a session that has never checkpointed to
+// its creation state (replay will rebuild everything from the log).
+func (se *Session) resetToInitial() {
+	se.mu.Lock()
+	se.vars = make(map[string][]byte)
+	se.vec = nil
+	se.stateLSN = 0
+	se.seq.SetNext(1)
+	se.hasReply = false
+	se.reply = rpc.Reply{}
+	se.outgoing = make(map[string]*outSession)
+	se.mu.Unlock()
+}

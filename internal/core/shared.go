@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mspr/internal/dv"
+	"mspr/internal/logrec"
+	"mspr/internal/wal"
+
+	"sync"
+)
+
+// SharedVar is a shared variable: a passive recovery unit accessed by all
+// sessions of an MSP (§2.2, §3.3). Access is protected by a per-variable
+// lock held only for the duration of the access, so no deadlocks are
+// possible; reads and writes are value-logged (Fig. 8) so that sessions
+// recover without depending on one another, and writes are chained
+// backward so an orphan value can be rolled back independently (§4.2).
+type SharedVar struct {
+	name    string
+	srv     *Server
+	initial []byte
+
+	mu        sync.Mutex
+	value     []byte
+	vec       dv.Vector // the current value's DV
+	stateLSN  wal.LSN   // state number: LSN of the most recent write (or checkpoint)
+	lastWrite wal.LSN   // backward-chain head (write or checkpoint record; 0 = virgin)
+
+	writesSince  int     // writes since the last checkpoint
+	firstWrite   wal.LSN // first write record ever (scan-start bookkeeping)
+	lastCkptLSN  wal.LSN
+	mspCkptsPast int
+}
+
+func newSharedVar(s *Server, def SharedDef) *SharedVar {
+	return &SharedVar{
+		name:    def.Name,
+		srv:     s,
+		initial: append([]byte(nil), def.Initial...),
+		value:   append([]byte(nil), def.Initial...),
+	}
+}
+
+// errUnknownShared reports access to an undeclared shared variable.
+var errUnknownShared = errors.New("core: unknown shared variable")
+
+// read implements the Fig. 8 read action on behalf of sess: roll the
+// variable back if its value is an orphan, log the value with the
+// variable's DV, merge the variable's DV into the reader's DV and advance
+// the reader's state number to the new record.
+func (sv *SharedVar) read(sess *Session) ([]byte, error) {
+	s := sv.srv
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if !s.cfg.Logging {
+		return append([]byte(nil), sv.value...), nil
+	}
+	if _, orphan := s.know.OrphanIn(sv.vec); orphan {
+		if err := sv.rollbackLocked(); err != nil {
+			return nil, err
+		}
+	}
+	rec := logrec.SharedRead{Session: sess.id, Var: sv.name, Value: sv.value, DV: sv.vec}
+	lsn, n := s.mustAppend(logrec.TSharedRead, rec.Encode())
+	sess.mergeVec(sv.vec)
+	sess.noteOwnRecord(lsn, n)
+	return append([]byte(nil), sv.value...), nil
+}
+
+// write implements the Fig. 8 write action on behalf of sess: log the
+// writer's DV, the new value and the previous write record's LSN (the
+// backward chain); replace the variable's DV with the writer's and
+// advance the variable's state number. The writer need not check the
+// variable for orphanhood — the value is replaced wholesale.
+func (sv *SharedVar) write(sess *Session, value []byte) error {
+	s := sv.srv
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if !s.cfg.Logging {
+		sv.value = append([]byte(nil), value...)
+		return nil
+	}
+	wvec := sess.vecWithSelf()
+	rec := logrec.SharedWrite{Session: sess.id, Var: sv.name, Value: value, DV: wvec, PrevWrite: sv.lastWrite}
+	lsn, n := s.mustAppend(logrec.TSharedWrite, rec.Encode())
+	sess.notePosOnly(lsn, n)
+	sv.vec = wvec
+	sv.stateLSN = lsn
+	sv.lastWrite = lsn
+	sv.value = append([]byte(nil), value...)
+	sv.writesSince++
+	if sv.firstWrite == 0 {
+		sv.firstWrite = lsn
+	}
+	if s.cfg.SVCkptEvery > 0 && sv.writesSince >= s.cfg.SVCkptEvery {
+		return sv.checkpointLocked()
+	}
+	return nil
+}
+
+// rollbackLocked is shared-state orphan recovery (§4.2): follow the
+// backward chain of write records to the most recent non-orphan value. A
+// checkpoint record terminates the walk (its value can never be an
+// orphan); a fully orphaned, never-checkpointed variable rolls back to
+// its declared initial value.
+func (sv *SharedVar) rollbackLocked() error {
+	s := sv.srv
+	s.stats.SVRollbacks.Add(1)
+	cur := sv.lastWrite
+	for cur != 0 {
+		typ, payload, err := s.log.ReadRecord(cur)
+		if err != nil {
+			return fmt.Errorf("core: rollback of %s at %d: %w", sv.name, cur, err)
+		}
+		switch logrec.Type(typ) {
+		case logrec.TSVCheckpoint:
+			rec, err := logrec.DecodeSVCheckpoint(payload)
+			if err != nil {
+				return err
+			}
+			sv.value = append([]byte(nil), rec.Value...)
+			sv.vec = nil
+			sv.stateLSN = cur
+			sv.lastWrite = cur
+			return nil
+		case logrec.TSharedWrite:
+			rec, err := logrec.DecodeSharedWrite(payload)
+			if err != nil {
+				return err
+			}
+			if _, orphan := s.know.OrphanIn(rec.DV); orphan {
+				cur = rec.PrevWrite
+				continue
+			}
+			sv.value = append([]byte(nil), rec.Value...)
+			sv.vec = rec.DV
+			sv.stateLSN = cur
+			sv.lastWrite = cur
+			return nil
+		default:
+			return fmt.Errorf("core: rollback of %s: unexpected %v at %d", sv.name, logrec.Type(typ), cur)
+		}
+	}
+	// Chain exhausted: every write since creation is an orphan.
+	sv.value = append([]byte(nil), sv.initial...)
+	sv.vec = nil
+	sv.stateLSN = 0
+	sv.lastWrite = 0
+	return nil
+}
+
+// checkpointLocked takes a shared-variable checkpoint (§3.3): a
+// distributed log flush per the variable's DV (during which the variable
+// may be found an orphan and rolled back first), then a checkpoint record
+// whose value can never become an orphan. The backward chain breaks here.
+func (sv *SharedVar) checkpointLocked() error {
+	s := sv.srv
+	for {
+		err := s.distributedFlush(sv.vec)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, errOrphanDep) {
+			if rbErr := sv.rollbackLocked(); rbErr != nil {
+				return rbErr
+			}
+			continue // flush the rolled-back value's dependencies instead
+		}
+		return err
+	}
+	rec := logrec.SVCheckpoint{Var: sv.name, Value: sv.value}
+	lsn, _ := s.mustAppend(logrec.TSVCheckpoint, rec.Encode())
+	sv.vec = nil
+	sv.stateLSN = lsn
+	sv.lastWrite = lsn
+	sv.writesSince = 0
+	sv.lastCkptLSN = lsn
+	sv.mspCkptsPast = 0
+	s.stats.SVCkpts.Add(1)
+	return nil
+}
+
+// forceCheckpoint checkpoints the variable outside the write path (stale
+// variables are forced so the analysis-scan start point advances, §3.4).
+func (sv *SharedVar) forceCheckpoint() {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	_ = sv.checkpointLocked()
+}
+
+// ckptPositions returns the variable's recovery starting points for the
+// MSP checkpoint.
+func (sv *SharedVar) ckptPositions() (ckpt, firstWrite wal.LSN) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.lastCkptLSN, sv.firstWrite
+}
+
+func (sv *SharedVar) bumpMSPCkptAge() {
+	sv.mu.Lock()
+	sv.mspCkptsPast++
+	sv.mu.Unlock()
+}
+
+func (sv *SharedVar) mspCkptAge() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.mspCkptsPast
+}
+
+func (sv *SharedVar) written() bool {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.lastWrite != 0 && sv.writesSince > 0
+}
+
+// applyScanWrite rolls the variable forward during the crash-recovery
+// analysis scan (§4.3): the most recent logged value wins; orphan checks
+// are deferred until a session reads the variable.
+func (sv *SharedVar) applyScanWrite(rec logrec.SharedWrite, lsn wal.LSN) {
+	sv.mu.Lock()
+	sv.value = append([]byte(nil), rec.Value...)
+	sv.vec = rec.DV
+	sv.stateLSN = lsn
+	sv.lastWrite = lsn
+	if sv.firstWrite == 0 {
+		sv.firstWrite = lsn
+	}
+	sv.writesSince++
+	sv.mu.Unlock()
+}
+
+// applyScanCheckpoint applies a checkpoint record during the scan.
+func (sv *SharedVar) applyScanCheckpoint(rec logrec.SVCheckpoint, lsn wal.LSN) {
+	sv.mu.Lock()
+	sv.value = append([]byte(nil), rec.Value...)
+	sv.vec = nil
+	sv.stateLSN = lsn
+	sv.lastWrite = lsn
+	sv.lastCkptLSN = lsn
+	sv.writesSince = 0
+	sv.mu.Unlock()
+}
+
+// snapshotValue returns the current value without logging (test hook).
+func (sv *SharedVar) snapshotValue() []byte {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return append([]byte(nil), sv.value...)
+}

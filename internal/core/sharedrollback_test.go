@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+)
+
+// rollbackEnv builds the §4.2 scenario: a session on msp1 calls msp2 and
+// then writes shared variable "board", so the board's value carries a
+// dependency on msp2's state. msp2 crashes holding unflushed records
+// *after* the write but before any flush — the board's value becomes an
+// orphan.
+//
+// The recovery machinery is aggressive about repairing this: the writer
+// session's orphan recovery re-executes the in-flight request and its
+// live continuation re-writes the board with clean dependencies. To
+// observe the shared-state rollback itself — a clean reader walking the
+// backward chain of write records (§4.2) — the environment gates the
+// re-execution: the doomed request's second execution blocks before its
+// write until the test releases it. In production the same window exists
+// whenever the writer's recovery is slower than a reader's access; the
+// gate just makes it deterministic.
+type rollbackEnv struct {
+	e           *testEnv
+	armCrash    atomic.Bool
+	restartDone chan struct{}
+
+	doomedArg   string
+	doomedExecs atomic.Int32
+	gate        chan struct{}
+	gateOnce    sync.Once
+}
+
+// openGate releases any parked re-execution; safe to call repeatedly.
+func (re *rollbackEnv) openGate() {
+	re.gateOnce.Do(func() { close(re.gate) })
+}
+
+// crashMSP2DelayedRestart kills msp2 immediately — so no recovery
+// broadcast arrives yet and the subsequent shared write proceeds with the
+// doomed dependency — and restarts it shortly after. The restart's
+// broadcast then reveals the orphan.
+func (re *rollbackEnv) crashMSP2DelayedRestart() {
+	re.e.srvs["msp2"].Crash()
+	def := re.e.defs["msp2"]
+	go func() {
+		defer close(re.restartDone)
+		time.Sleep(10 * time.Millisecond)
+		re.e.start("msp2", def)
+	}()
+}
+
+func newRollbackEnv(t *testing.T, mut ...func(*Config)) *rollbackEnv {
+	re := &rollbackEnv{
+		e:           newTestEnv(t),
+		restartDone: make(chan struct{}),
+		gate:        make(chan struct{}),
+	}
+	def2 := Definition{
+		Methods: map[string]Handler{
+			"ping": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				n := asU64(ctx.GetVar("n")) + 1
+				ctx.SetVar("n", u64(n))
+				return u64(n), nil
+			},
+		},
+	}
+	def1 := Definition{
+		Methods: map[string]Handler{
+			// postWithCall: call msp2, then write the board. The crash (if
+			// armed) fires between the call and the write, so the write's
+			// DV carries the soon-to-be-lost msp2 dependency. Re-executions
+			// of the doomed request block on the gate before writing.
+			"postWithCall": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				if _, err := ctx.Call("msp2", "ping", nil); err != nil {
+					return nil, err
+				}
+				if re.armCrash.CompareAndSwap(true, false) {
+					re.crashMSP2DelayedRestart()
+				}
+				if string(arg) == re.doomedArg && re.doomedExecs.Add(1) > 1 {
+					<-re.gate
+				}
+				if err := ctx.WriteShared("board", arg); err != nil {
+					return nil, err
+				}
+				return []byte("ok"), nil
+			},
+			// post: plain write, no foreign dependencies.
+			"post": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				return nil, ctx.WriteShared("board", arg)
+			},
+			// readBoard: plain read by a clean session.
+			"readBoard": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				return ctx.ReadShared("board")
+			},
+		},
+		Shared: []SharedDef{{Name: "board", Initial: []byte("initial")}},
+	}
+	re.e.start("msp1", def1, mut...)
+	re.e.start("msp2", def2, mut...)
+	return re
+}
+
+// cleanup releases any gated re-execution before tearing the system down.
+func (re *rollbackEnv) cleanup() {
+	re.openGate()
+	re.e.cleanup()
+}
+
+// doomedPost issues postWithCall from a one-shot client that never
+// resends: the request's shared write lands with the doomed dependency,
+// msp2 crash-restarts, and the writer session's recovery parks at the
+// gate — leaving the orphan value on the board for readers to trip over.
+func (re *rollbackEnv) doomedPost(t *testing.T, value string) {
+	t.Helper()
+	re.doomedArg = value
+	re.armCrash.Store(true)
+	ep := re.e.net.Endpoint(simnet.Addr("one-shot-" + value))
+	ep.Send("msp1", rpc.Request{
+		Session: "doomed-" + value, Seq: 1, Method: "postWithCall",
+		Arg: []byte(value), NewSession: true, From: ep.Addr(),
+	})
+	<-re.restartDone
+	// Wait until the re-execution reaches the gate: the orphan value is
+	// now on the board and the writer is parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for re.doomedExecs.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if re.doomedExecs.Load() < 2 {
+		t.Fatal("the doomed request's recovery never re-executed it")
+	}
+}
+
+// TestSharedStateOrphanRollback: the clean reader rolls the board back to
+// the most recent non-orphan value (the previous write) while the writer
+// is still recovering — independence between reader and writer.
+func TestSharedStateOrphanRollback(t *testing.T) {
+	re := newRollbackEnv(t)
+	defer re.cleanup()
+	writer := re.e.endClient().Session("msp1")
+	reader := re.e.endClient().Session("msp1")
+
+	mustCall(t, writer, "post", []byte("good-value"))
+	re.doomedPost(t, "orphan-value")
+
+	got := mustCall(t, reader, "readBoard", nil)
+	if string(got) != "good-value" {
+		t.Fatalf("board = %q, want the rolled-back %q", got, "good-value")
+	}
+	if re.e.srvs["msp1"].Stats().SVRollbacks.Load() == 0 {
+		t.Fatal("no shared-variable rollback recorded")
+	}
+}
+
+// TestSharedStateRollbackToInitial: when every write in the chain is an
+// orphan, the variable rolls back to its declared initial value.
+func TestSharedStateRollbackToInitial(t *testing.T) {
+	re := newRollbackEnv(t)
+	defer re.cleanup()
+	reader := re.e.endClient().Session("msp1")
+	re.doomedPost(t, "doomed")
+	got := mustCall(t, reader, "readBoard", nil)
+	if string(got) != "initial" {
+		t.Fatalf("board = %q, want the initial value", got)
+	}
+}
+
+// TestSharedStateRollbackWalksChain: clean writes below, one orphan write
+// on top; the reader walks the backward chain exactly one step.
+func TestSharedStateRollbackWalksChain(t *testing.T) {
+	re := newRollbackEnv(t)
+	defer re.cleanup()
+	writer := re.e.endClient().Session("msp1")
+	reader := re.e.endClient().Session("msp1")
+	mustCall(t, writer, "post", []byte("anchor"))
+	mustCall(t, writer, "postWithCall", []byte("dep-1"))
+	mustCall(t, writer, "postWithCall", []byte("dep-2"))
+	re.doomedPost(t, "dep-3")
+	got := mustCall(t, reader, "readBoard", nil)
+	// dep-1 and dep-2 completed: their dependencies were flushed by the
+	// end-client reply flushes, so only dep-3 is an orphan.
+	if string(got) != "dep-2" {
+		t.Fatalf("board = %q, want dep-2 (chain walked too far or not far enough)", got)
+	}
+}
+
+// TestDoomedRequestCompletesExactlyOnce: once the gate opens, the parked
+// recovery finishes the in-flight request for real — the write lands
+// exactly once with clean dependencies, even though the client is gone.
+func TestDoomedRequestCompletesExactlyOnce(t *testing.T) {
+	re := newRollbackEnv(t)
+	defer re.cleanup()
+	writer := re.e.endClient().Session("msp1")
+	reader := re.e.endClient().Session("msp1")
+	mustCall(t, writer, "post", []byte("before"))
+	re.doomedPost(t, "finally")
+	// Rolled back while parked...
+	if got := mustCall(t, reader, "readBoard", nil); string(got) != "before" {
+		t.Fatalf("board = %q while writer parked, want %q", got, "before")
+	}
+	// ...completed once released.
+	re.openGate()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := mustCall(t, reader, "readBoard", nil); string(got) == "finally" {
+			if n := re.doomedExecs.Load(); n != 2 {
+				t.Fatalf("doomed request executed %d times, want 2 (original + recovery)", n)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("the doomed request never completed after the gate opened")
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chainEnv wires the paper's Fig. 5 topology: a three-MSP chain inside
+// one service domain. The client calls msp1.relay, which calls
+// msp2.relay, which calls msp3.leaf. Dependency vectors propagate
+// transitively: msp1's session ends up depending on msp3's state it
+// never talked to directly.
+type chainEnv struct {
+	e         *testEnv
+	crashLeaf atomic.Bool // crash msp3 after msp2 has its reply
+	restarted chan struct{}
+}
+
+func newChainEnv(t *testing.T) *chainEnv {
+	ce := &chainEnv{e: newTestEnv(t), restarted: make(chan struct{})}
+	leafDef := Definition{
+		Methods: map[string]Handler{
+			"leaf": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				n := asU64(ctx.GetVar("n")) + 1
+				ctx.SetVar("n", u64(n))
+				return u64(n), nil
+			},
+		},
+	}
+	midDef := Definition{
+		Methods: map[string]Handler{
+			"relay": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				out, err := ctx.Call("msp3", "leaf", arg)
+				if err != nil {
+					return nil, err
+				}
+				if ce.crashLeaf.CompareAndSwap(true, false) {
+					// Fig. 5's p1 crash, at the transitive position: msp3
+					// dies right after msp2 received its reply; msp2's and
+					// (transitively) msp1's states become orphans.
+					ce.e.srvs["msp3"].Crash()
+					def := ce.e.defs["msp3"]
+					go func() {
+						defer close(ce.restarted)
+						time.Sleep(5 * time.Millisecond)
+						ce.e.start("msp3", def)
+					}()
+				}
+				n := asU64(ctx.GetVar("n")) + 1
+				ctx.SetVar("n", u64(n))
+				return out, nil
+			},
+		},
+	}
+	headDef := Definition{
+		Methods: map[string]Handler{
+			"relay": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				out, err := ctx.Call("msp2", "relay", arg)
+				if err != nil {
+					return nil, err
+				}
+				n := asU64(ctx.GetVar("n")) + 1
+				ctx.SetVar("n", u64(n))
+				return out, nil
+			},
+		},
+	}
+	ce.e.start("msp3", leafDef)
+	ce.e.start("msp2", midDef)
+	ce.e.start("msp1", headDef)
+	return ce
+}
+
+// TestTransitiveDependencyPropagation: after one request, msp1's session
+// must transitively depend on msp3 even though it never messaged msp3.
+func TestTransitiveDependencyPropagation(t *testing.T) {
+	ce := newChainEnv(t)
+	defer ce.e.cleanup()
+	cs := ce.e.endClient().Session("msp1")
+	if got := asU64(mustCall(t, cs, "relay", nil)); got != 1 {
+		t.Fatalf("relay returned %d", got)
+	}
+	// Inspect msp1's only session's DV.
+	srv := ce.e.srvs["msp1"]
+	srv.mu.Lock()
+	var vec map[string]bool
+	for _, sess := range srv.sessions {
+		vec = map[string]bool{}
+		for p := range sess.vecSnapshot() {
+			vec[string(p)] = true
+		}
+	}
+	srv.mu.Unlock()
+	if !vec["msp2"] || !vec["msp3"] {
+		t.Fatalf("msp1 session DV lacks transitive dependencies: %v", vec)
+	}
+}
+
+// TestTransitiveOrphanRecovery: msp3 crashes losing its buffered state;
+// both msp2's and msp1's sessions are (transitively) orphans, recover,
+// and the chain keeps exactly-once semantics end to end.
+func TestTransitiveOrphanRecovery(t *testing.T) {
+	ce := newChainEnv(t)
+	defer ce.e.cleanup()
+	cs := ce.e.endClient().Session("msp1")
+	for want := uint64(1); want <= 3; want++ {
+		if got := asU64(mustCall(t, cs, "relay", nil)); got != want {
+			t.Fatalf("warmup #%d returned %d", want, got)
+		}
+	}
+	ce.crashLeaf.Store(true)
+	// The crash-injected request must still complete exactly once: the
+	// end-client reply requires a distributed flush across all three
+	// MSPs, which fails, orphan-recovers the whole chain and re-executes
+	// with deduplication at every hop.
+	if got := asU64(mustCall(t, cs, "relay", nil)); got != 4 {
+		t.Fatalf("crash-injected relay returned %d, want 4", got)
+	}
+	<-ce.restarted
+	for want := uint64(5); want <= 7; want++ {
+		if got := asU64(mustCall(t, cs, "relay", nil)); got != want {
+			t.Fatalf("post-recovery #%d returned %d", want, got)
+		}
+	}
+}
+
+// TestMiddleCrashRecoversBothSides: crash the middle MSP; the head's
+// session orphan-recovers (it depends on msp2) while the leaf is
+// unaffected except for duplicate-request deduplication.
+func TestMiddleCrashRecoversBothSides(t *testing.T) {
+	ce := newChainEnv(t)
+	defer ce.e.cleanup()
+	cs := ce.e.endClient().Session("msp1")
+	for want := uint64(1); want <= 3; want++ {
+		mustCall(t, cs, "relay", nil)
+	}
+	ce.e.restart("msp2")
+	for want := uint64(4); want <= 6; want++ {
+		if got := asU64(mustCall(t, cs, "relay", nil)); got != want {
+			t.Fatalf("after middle crash relay #%d returned %d", want, got)
+		}
+	}
+}
+
+// TestRollingCrashesAcrossChain: crash each MSP in turn with traffic in
+// between; the chain's counters stay perfectly sequential.
+func TestRollingCrashesAcrossChain(t *testing.T) {
+	ce := newChainEnv(t)
+	defer ce.e.cleanup()
+	cs := ce.e.endClient().Session("msp1")
+	want := uint64(0)
+	for _, victim := range []string{"msp3", "msp2", "msp1", "msp2", "msp3"} {
+		for i := 0; i < 2; i++ {
+			want++
+			if got := asU64(mustCall(t, cs, "relay", nil)); got != want {
+				t.Fatalf("before crashing %s: relay returned %d, want %d", victim, got, want)
+			}
+		}
+		ce.e.restart(victim)
+	}
+	want++
+	if got := asU64(mustCall(t, cs, "relay", nil)); got != want {
+		t.Fatalf("after rolling crashes relay returned %d, want %d", got, want)
+	}
+}

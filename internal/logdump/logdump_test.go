@@ -1,0 +1,91 @@
+package logdump
+
+import (
+	"strings"
+	"testing"
+
+	"mspr/internal/dv"
+	"mspr/internal/logrec"
+	"mspr/internal/simdisk"
+	"mspr/internal/wal"
+)
+
+func TestDumpDecodesEveryRecordType(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	lg, err := wal.Open(disk, "x.log", wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := dv.Vector{"peer": {Epoch: 1, LSN: 42}}
+	records := []struct {
+		typ logrec.Type
+		pay []byte
+	}{
+		{logrec.TSessionStart, logrec.SessionStart{Session: "s1", ClientAddr: "c"}.Encode()},
+		{logrec.TReqReceive, logrec.ReqReceive{Session: "s1", Seq: 1, Method: "m", HasDV: true, DV: vec}.Encode()},
+		{logrec.TReplyReceive, logrec.ReplyReceive{Session: "s1", OutSession: "o", Seq: 1}.Encode()},
+		{logrec.TSharedRead, logrec.SharedRead{Session: "s1", Var: "v", Value: []byte("x"), DV: vec}.Encode()},
+		{logrec.TSharedWrite, logrec.SharedWrite{Session: "s1", Var: "v", Value: []byte("y"), DV: vec, PrevWrite: 7}.Encode()},
+		{logrec.TSVCheckpoint, logrec.SVCheckpoint{Var: "v", Value: []byte("z")}.Encode()},
+		{logrec.TSessionCkpt, logrec.SessionCheckpoint{Session: "s1", Vars: map[string][]byte{"a": nil}, NextExpected: 2}.Encode()},
+		{logrec.TSessionEnd, logrec.SessionEnd{Session: "s1"}.Encode()},
+		{logrec.TEOS, logrec.EOS{Session: "s1", Orphan: 99}.Encode()},
+		{logrec.TRecoveryInfo, logrec.RecoveryInfo{Process: "p", CrashedEpoch: 1, Recovered: 10}.Encode()},
+		{logrec.TMSPCheckpoint, logrec.MSPCheckpoint{Epoch: 2}.Encode()},
+	}
+	var last wal.LSN
+	for _, r := range records {
+		last, err = lg.Append(byte(r.typ), r.pay)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Flush(last); err != nil {
+		t.Fatal(err)
+	}
+	_ = lg.WriteAnchor(wal.Anchor{Epoch: 2, CheckpointLSN: last})
+	lg.Close()
+
+	var sb strings.Builder
+	sum, err := Dump(disk, "x.log", &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != len(records) {
+		t.Fatalf("dumped %d records, want %d", sum.Records, len(records))
+	}
+	if !sum.HasAnchor || sum.Anchor.Epoch != 2 {
+		t.Fatalf("anchor missing from summary: %+v", sum)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"SessionStart", "ReqReceive", "ReplyReceive", "SharedRead", "SharedWrite",
+		"SVCheckpoint", "SessionCkpt", "SessionEnd", "EOS", "RecoveryInfo", "MSPCheckpoint",
+		"peer:1:42", "orphan@99", "prev@7", "crashedEpoch=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "UNDECODABLE") {
+		t.Fatalf("dump failed to decode a record:\n%s", out)
+	}
+}
+
+func TestDescribeCorruptPayload(t *testing.T) {
+	if got := Describe(logrec.TReqReceive, []byte{0xFF}); !strings.Contains(got, "UNDECODABLE") {
+		t.Fatalf("corrupt payload described as %q", got)
+	}
+}
+
+func TestDumpEmptyLog(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	var sb strings.Builder
+	sum, err := Dump(disk, "empty.log", &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 0 || sum.HasAnchor {
+		t.Fatalf("empty log summary: %+v", sum)
+	}
+}

@@ -1,0 +1,161 @@
+package logrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"mspr/internal/dv"
+)
+
+// enc is a tiny append-only encoder used by all record types.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)       { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)    { e.b = binary.AppendUvarint(e.b, uint64(v)) }
+func (e *enc) u64(v uint64)    { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)     { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) boolv(v bool)    { e.b = append(e.b, b2u(v)) }
+func (e *enc) str(s string)    { e.u64(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bytes(p []byte)  { e.u64(uint64(len(p))); e.b = append(e.b, p...) }
+func (e *enc) vec(v dv.Vector) { e.b = v.AppendBinary(e.b) }
+
+func (e *enc) strmap(m map[string][]byte) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.u64(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.bytes(m[k])
+	}
+}
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// dec decodes the formats produced by enc, accumulating the first error.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("logrec: truncated or corrupt %s", what)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) u32() uint32 { return uint32(d.u64()) }
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) boolv() bool { return d.u8() == 1 }
+
+func (d *dec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) bytes() []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("bytes")
+		return nil
+	}
+	p := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *dec) vec() dv.Vector {
+	if d.err != nil {
+		return nil
+	}
+	v, rest, err := dv.DecodeVector(d.b)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	d.b = rest
+	return v
+}
+
+func (d *dec) strmap() map[string][]byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	m := make(map[string][]byte, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		k := d.str()
+		m[k] = d.bytes()
+	}
+	return m
+}
+
+func (d *dec) done(what string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return errors.New("logrec: trailing bytes in " + what)
+	}
+	return nil
+}

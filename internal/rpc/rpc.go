@@ -1,0 +1,244 @@
+// Package rpc defines the request/reply message envelopes exchanged
+// between clients and MSPs, the request-sequence-number discipline that
+// makes duplicate and out-of-order messages detectable (§3.1), and the
+// client-side resend machinery that, combined with the server buffering
+// the latest reply per session, yields exactly-once execution semantics.
+//
+// Over each session, the client maintains a next available request
+// sequence number and the MSP a next expected one. The client resends a
+// request (same sequence number) until its reply is received; the MSP
+// re-sends the buffered reply for an already-executed request and ignores
+// anything else out of order.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mspr/internal/dv"
+	"mspr/internal/simnet"
+	"mspr/internal/simtime"
+)
+
+// Status is the outcome class carried in a Reply.
+type Status byte
+
+// Reply statuses.
+const (
+	// StatusOK means the method executed and Payload is its result.
+	StatusOK Status = iota
+	// StatusAppError means the method returned an application error;
+	// Payload is the error text. Errors are results too: they are
+	// buffered and deduplicated exactly like successes.
+	StatusAppError
+	// StatusBusy means the server is checkpointing or recovering; the
+	// client should sleep briefly and resend the same request (§5.4:
+	// "it sleeps for 100ms and resends the request").
+	StatusBusy
+	// StatusRejected means the request can never succeed (unknown method
+	// or session); resending is pointless.
+	StatusRejected
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusAppError:
+		return "AppError"
+	case StatusBusy:
+		return "Busy"
+	case StatusRejected:
+		return "Rejected"
+	}
+	return fmt.Sprintf("Status(%d)", byte(s))
+}
+
+// Request is a service-method invocation over a session.
+type Request struct {
+	Session    string
+	Seq        uint64
+	Method     string
+	Arg        []byte
+	NewSession bool // first request on the session: create it server-side
+	EndSession bool // ends the session after this request
+	// HasDV marks an intra-domain message carrying the sending session's
+	// dependency vector (Fig. 7). Cross-domain and end-client requests
+	// carry none (the sender performed a distributed log flush instead).
+	HasDV bool
+	DV    dv.Vector
+	From  simnet.Addr // reply-to address
+}
+
+// Reply answers a Request; (Session, Seq) match the request.
+type Reply struct {
+	Session string
+	Seq     uint64
+	Status  Status
+	Payload []byte
+	HasDV   bool
+	DV      dv.Vector
+}
+
+// ErrRejected is returned by Call when the server permanently rejects the
+// request.
+var ErrRejected = errors.New("rpc: request rejected by server")
+
+// CallOptions tunes the resend loop.
+type CallOptions struct {
+	// ResendAfter is the model time to wait for a reply before resending
+	// the same request. It should comfortably exceed a round trip plus
+	// service time.
+	ResendAfter time.Duration
+	// BusyBackoff is the model time to sleep after a StatusBusy reply
+	// before resending (100 ms in the paper).
+	BusyBackoff time.Duration
+	// TimeScale converts model durations to wall-clock sleeps.
+	TimeScale float64
+	// MaxAttempts bounds the total sends (0 = unlimited). Exactly-once
+	// semantics require unlimited resends; bounded attempts exist for
+	// tests that want to observe unreachable servers.
+	MaxAttempts int
+}
+
+// DefaultCallOptions returns the options used throughout the experiments.
+func DefaultCallOptions(timeScale float64) CallOptions {
+	return CallOptions{
+		ResendAfter: 500 * time.Millisecond,
+		BusyBackoff: 100 * time.Millisecond,
+		TimeScale:   timeScale,
+	}
+}
+
+func (o CallOptions) scaled(d time.Duration) time.Duration {
+	s := time.Duration(float64(d) * o.TimeScale)
+	if s <= 0 {
+		// Even at TimeScale 0 (unit tests), resend timers keep a small
+		// floor so clients do not busy-spin resending.
+		s = time.Millisecond
+	}
+	return s
+}
+
+// Call sends req via send and waits for the matching reply on replies,
+// resending until a non-Busy terminal reply arrives. Duplicate and stale
+// replies are discarded by sequence number. It returns the reply payload
+// or an error for StatusAppError/StatusRejected.
+func Call(send func(Request), replies <-chan Reply, req Request, opts CallOptions) ([]byte, error) {
+	attempts := 0
+	for {
+		attempts++
+		if opts.MaxAttempts > 0 && attempts > opts.MaxAttempts {
+			return nil, fmt.Errorf("rpc: no reply to %s/%d after %d attempts", req.Session, req.Seq, opts.MaxAttempts)
+		}
+		send(req)
+		deadline := time.NewTimer(opts.scaled(opts.ResendAfter))
+	waiting:
+		for {
+			select {
+			case rep, ok := <-replies:
+				if !ok {
+					deadline.Stop()
+					return nil, errors.New("rpc: reply channel closed")
+				}
+				if rep.Session != req.Session || rep.Seq != req.Seq {
+					continue // duplicate or stale reply: ignore
+				}
+				deadline.Stop()
+				switch rep.Status {
+				case StatusOK:
+					return rep.Payload, nil
+				case StatusAppError:
+					return nil, &AppError{Msg: string(rep.Payload)}
+				case StatusBusy:
+					sleep(opts.scaled(opts.BusyBackoff))
+					break waiting // resend same request
+				case StatusRejected:
+					return nil, ErrRejected
+				default:
+					return nil, fmt.Errorf("rpc: unknown reply status %v", rep.Status)
+				}
+			case <-deadline.C:
+				break waiting // timed out: resend same request
+			}
+		}
+	}
+}
+
+func sleep(d time.Duration) {
+	simtime.Sleep(d)
+}
+
+// AppError is an application-level error returned by a service method and
+// transported in a reply.
+type AppError struct{ Msg string }
+
+func (e *AppError) Error() string { return "service error: " + e.Msg }
+
+// SeqTracker implements the server side of the sequence-number discipline
+// for one session: it classifies an incoming sequence number as new,
+// duplicate (resend buffered reply) or ignorable.
+type SeqTracker struct {
+	mu   sync.Mutex
+	next uint64 // next expected request sequence number
+}
+
+// NewSeqTracker returns a tracker expecting first.
+func NewSeqTracker(first uint64) *SeqTracker {
+	return &SeqTracker{next: first}
+}
+
+// Classification of an incoming request sequence number.
+type Classification int
+
+// Classification values.
+const (
+	// SeqNew is the expected next request: execute it.
+	SeqNew Classification = iota
+	// SeqDuplicate re-delivers the previous request: resend the buffered
+	// reply.
+	SeqDuplicate
+	// SeqIgnore is anything else (ancient duplicate or from the future —
+	// impossible for a correct client, possible for a reordered network).
+	SeqIgnore
+)
+
+// Classify returns how to treat an incoming request with sequence seq.
+func (t *SeqTracker) Classify(seq uint64) Classification {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case seq == t.next:
+		return SeqNew
+	case seq+1 == t.next:
+		return SeqDuplicate
+	default:
+		return SeqIgnore
+	}
+}
+
+// Advance moves to the next expected sequence number after executing the
+// request with sequence seq.
+func (t *SeqTracker) Advance(seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq+1 > t.next {
+		t.next = seq + 1
+	}
+}
+
+// Next returns the next expected sequence number.
+func (t *SeqTracker) Next() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// SetNext restores the tracker (checkpoint reload or replay).
+func (t *SeqTracker) SetNext(n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next = n
+}

@@ -1,0 +1,357 @@
+// Package sdb is a small durable key-value store with journalled
+// transactions. It stands in for the "local DBMS" of the paper's
+// Psession baseline configuration (§5.2), in which the web server
+// persists session state in a database with one read transaction and one
+// write transaction per request — the cost structure the experiments
+// compare log-based recovery against.
+//
+// Commits journal their writes and sync before returning; the journal is
+// replayed on open, and compacted into a snapshot when it grows large.
+// Disk costs are charged to the backing simulated disk: a read
+// transaction charges the sectors it reads, a commit charges a synced
+// journal write (which, on the paper's disk model, includes the expected
+// random-seek component — the dominant cost of Psession).
+package sdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"mspr/internal/simdisk"
+)
+
+// Store is a durable transactional KV store. Write transactions are
+// serialized (single-writer two-phase locking degenerate case): Begin
+// with writable=true blocks until the previous writer commits or aborts,
+// so read-modify-write sequences inside a transaction are isolated.
+type Store struct {
+	disk     *simdisk.Disk
+	journal  *simdisk.File
+	snapshot *simdisk.File
+
+	writer sync.Mutex // serializes writable transactions
+
+	mu         sync.Mutex
+	data       map[string][]byte
+	journalOff int64
+	compactAt  int64
+}
+
+// Options tunes the store.
+type Options struct {
+	// CompactAt compacts the journal into a snapshot once it exceeds this
+	// many bytes (default 1 MB).
+	CompactAt int64
+}
+
+// Open opens (creating if necessary) the named store on disk, replaying
+// the snapshot and journal.
+func Open(disk *simdisk.Disk, name string, opts Options) (*Store, error) {
+	if opts.CompactAt <= 0 {
+		opts.CompactAt = 1 << 20
+	}
+	s := &Store{
+		disk:      disk,
+		journal:   disk.OpenFile(name + ".journal"),
+		snapshot:  disk.OpenFile(name + ".snap"),
+		data:      make(map[string][]byte),
+		compactAt: opts.CompactAt,
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load replays the snapshot then the journal's valid prefix.
+func (s *Store) load() error {
+	if size := s.snapshot.Size(); size > 0 {
+		buf := make([]byte, size)
+		if _, err := s.snapshot.ReadAt(buf, 0); err != nil {
+			return err
+		}
+		s.disk.ChargeRead(int((size + simdisk.SectorSize - 1) / simdisk.SectorSize))
+		m, _, err := decodeKVBlock(buf)
+		if err != nil {
+			return fmt.Errorf("sdb: corrupt snapshot: %w", err)
+		}
+		s.data = m
+	}
+	size := s.journal.Size()
+	if size == 0 {
+		return nil
+	}
+	buf := make([]byte, size)
+	if _, err := s.journal.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	s.disk.ChargeRead(int((size + simdisk.SectorSize - 1) / simdisk.SectorSize))
+	off := int64(0)
+	for off < size {
+		m, n, err := decodeKVBlock(buf[off:])
+		if err != nil {
+			break // torn tail: the valid prefix is the committed history
+		}
+		for k, v := range m {
+			if v == nil {
+				delete(s.data, k)
+			} else {
+				s.data[k] = v
+			}
+		}
+		off += int64(n)
+	}
+	s.journalOff = off
+	return nil
+}
+
+// Get reads a key outside any transaction, charging a read. It returns a
+// copy of the value.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	v, ok := s.data[key]
+	out := append([]byte(nil), v...)
+	s.mu.Unlock()
+	sectors := (len(out) + simdisk.SectorSize - 1) / simdisk.SectorSize
+	if sectors == 0 {
+		sectors = 1
+	}
+	s.disk.ChargeRead(sectors)
+	return out, ok
+}
+
+// Tx is a transaction. Read transactions see a consistent snapshot of the
+// keys they touch; write transactions buffer updates until Commit.
+type Tx struct {
+	store    *Store
+	writable bool
+	writes   map[string][]byte // nil value = delete
+	done     bool
+}
+
+// Begin starts a transaction. A writable transaction holds the store's
+// writer lock until Commit or Abort; hold it briefly.
+func (s *Store) Begin(writable bool) *Tx {
+	if writable {
+		s.writer.Lock()
+	}
+	return &Tx{store: s, writable: writable, writes: make(map[string][]byte)}
+}
+
+// errTxDone is returned when using a finished transaction.
+var errTxDone = errors.New("sdb: transaction already finished")
+
+// Get reads a key within the transaction (its own writes win).
+func (tx *Tx) Get(key string) ([]byte, bool, error) {
+	if tx.done {
+		return nil, false, errTxDone
+	}
+	if v, ok := tx.writes[key]; ok {
+		if v == nil {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	tx.store.mu.Lock()
+	v, ok := tx.store.data[key]
+	out := append([]byte(nil), v...)
+	tx.store.mu.Unlock()
+	sectors := (len(out) + simdisk.SectorSize - 1) / simdisk.SectorSize
+	if sectors == 0 {
+		sectors = 1
+	}
+	tx.store.disk.ChargeRead(sectors)
+	if !ok {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// Put stages a write.
+func (tx *Tx) Put(key string, value []byte) error {
+	if tx.done {
+		return errTxDone
+	}
+	if !tx.writable {
+		return errors.New("sdb: Put on read-only transaction")
+	}
+	tx.writes[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Delete stages a deletion.
+func (tx *Tx) Delete(key string) error {
+	if tx.done {
+		return errTxDone
+	}
+	if !tx.writable {
+		return errors.New("sdb: Delete on read-only transaction")
+	}
+	tx.writes[key] = nil
+	return nil
+}
+
+// Commit makes the transaction's writes durable: one synced journal
+// append. Read-only transactions commit for free.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return errTxDone
+	}
+	tx.done = true
+	if !tx.writable {
+		return nil
+	}
+	defer tx.store.writer.Unlock()
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	s := tx.store
+	block := encodeKVBlock(tx.writes)
+	s.mu.Lock()
+	if _, err := s.journal.WriteAt(block, s.journalOff); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.journalOff += int64(len(block))
+	for k, v := range tx.writes {
+		if v == nil {
+			delete(s.data, k)
+		} else {
+			s.data[k] = v
+		}
+	}
+	needCompact := s.journalOff >= s.compactAt
+	s.mu.Unlock()
+	sectors := (len(block) + simdisk.SectorSize - 1) / simdisk.SectorSize
+	s.disk.ChargeWrite(sectors, sectors*simdisk.SectorSize-len(block))
+	if needCompact {
+		return s.compact()
+	}
+	return nil
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	if tx.writable {
+		tx.store.writer.Unlock()
+	}
+}
+
+// compact folds the journal into a snapshot and truncates it. The whole
+// operation holds the store lock: a commit interleaving between the
+// snapshot write and the journal truncation would be destroyed (its
+// journal record truncated, its data missing from the snapshot). Replay
+// after a crash between the two file writes is safe because journal
+// records carry absolute values — re-applying them over the snapshot is
+// idempotent. The caller holds the writer lock (compaction runs from
+// Commit), so no writable transaction is in flight.
+func (s *Store) compact() error {
+	s.mu.Lock()
+	snap := encodeKVBlock(s.data)
+	if _, err := s.snapshot.WriteAt(snap, 0); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.snapshot.Truncate(int64(len(snap))); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.journal.Truncate(0); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.journalOff = 0
+	s.mu.Unlock()
+	sectors := (len(snap) + simdisk.SectorSize - 1) / simdisk.SectorSize
+	s.disk.ChargeWrite(sectors, 0)
+	s.disk.ChargeWrite(1, 0)
+	return nil
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// encodeKVBlock serializes a map as [payloadLen u32][count u32][entries...][crc u32]
+// where each entry is [keyLen u32][key][hasValue u8][valLen u32][val].
+func encodeKVBlock(m map[string][]byte) []byte {
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(m)))
+	for k, v := range m {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(k)))
+		body = append(body, k...)
+		if v == nil {
+			body = append(body, 0)
+			continue
+		}
+		body = append(body, 1)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
+		body = append(body, v...)
+	}
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	return out
+}
+
+// decodeKVBlock parses one block, returning the map and bytes consumed.
+func decodeKVBlock(buf []byte) (map[string][]byte, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, errors.New("sdb: short block")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+n+4 {
+		return nil, 0, errors.New("sdb: truncated block")
+	}
+	body := buf[4 : 4+n]
+	want := binary.LittleEndian.Uint32(buf[4+n:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, 0, errors.New("sdb: bad block crc")
+	}
+	if len(body) < 4 {
+		return nil, 0, errors.New("sdb: bad block body")
+	}
+	count := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	m := make(map[string][]byte, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 4 {
+			return nil, 0, errors.New("sdb: bad entry")
+		}
+		kl := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if len(body) < kl+1 {
+			return nil, 0, errors.New("sdb: bad key")
+		}
+		k := string(body[:kl])
+		has := body[kl]
+		body = body[kl+1:]
+		if has == 0 {
+			m[k] = nil
+			continue
+		}
+		if len(body) < 4 {
+			return nil, 0, errors.New("sdb: bad value length")
+		}
+		vl := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if len(body) < vl {
+			return nil, 0, errors.New("sdb: bad value")
+		}
+		v := make([]byte, vl) // non-nil even when empty: nil means deletion
+		copy(v, body[:vl])
+		m[k] = v
+		body = body[vl:]
+	}
+	return m, 4 + n + 4, nil
+}

@@ -1,0 +1,199 @@
+package sdb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mspr/internal/simdisk"
+)
+
+func newStore(t *testing.T) (*Store, *simdisk.Disk) {
+	t.Helper()
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	s, err := Open(disk, "db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, disk
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin(true)
+	if err := tx.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("got (%q, %v)", v, ok)
+	}
+}
+
+func TestTxSeesOwnWrites(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin(true)
+	_ = tx.Put("k", []byte("staged"))
+	v, ok, err := tx.Get("k")
+	if err != nil || !ok || string(v) != "staged" {
+		t.Fatalf("(%q, %v, %v)", v, ok, err)
+	}
+	// Not visible outside before commit.
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("uncommitted write visible")
+	}
+	_ = tx.Commit()
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("committed write invisible")
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin(true)
+	_ = tx.Put("k", []byte("v"))
+	tx.Abort()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("aborted write visible")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit after abort should fail")
+	}
+}
+
+func TestReadOnlyTxRejectsWrites(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin(false)
+	if err := tx.Put("k", nil); err == nil {
+		t.Fatal("read-only Put accepted")
+	}
+	if err := tx.Delete("k"); err == nil {
+		t.Fatal("read-only Delete accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin(true)
+	_ = tx.Put("k", []byte("v"))
+	_ = tx.Commit()
+	tx = s.Begin(true)
+	_ = tx.Delete("k")
+	_ = tx.Commit()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	s, _ := Open(disk, "db", Options{})
+	for i := 0; i < 20; i++ {
+		tx := s.Begin(true)
+		_ = tx.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(disk, "db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := s2.Get(fmt.Sprintf("k%d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("k%d lost: (%v, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	s, _ := Open(disk, "db", Options{CompactAt: 256})
+	for i := 0; i < 50; i++ {
+		tx := s.Begin(true)
+		_ = tx.Put("hot", []byte(fmt.Sprintf("v%d", i)))
+		_ = tx.Put(fmt.Sprintf("cold%d", i), []byte("x"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(disk, "db", Options{CompactAt: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s2.Get("hot")
+	if !ok || string(v) != "v49" {
+		t.Fatalf("hot = (%q, %v)", v, ok)
+	}
+	if s2.Len() != 51 {
+		t.Fatalf("len = %d, want 51", s2.Len())
+	}
+}
+
+func TestCommitChargesDisk(t *testing.T) {
+	s, disk := newStore(t)
+	tx := s.Begin(true)
+	_ = tx.Put("k", bytes.Repeat([]byte("x"), 8192))
+	_ = tx.Commit()
+	st := disk.Stats()
+	if st.Writes == 0 || st.SectorsOut < 16 {
+		t.Fatalf("8 KB commit charged %+v", st)
+	}
+}
+
+func TestKVBlockRoundTripProperty(t *testing.T) {
+	prop := func(keys []string, vals [][]byte) bool {
+		m := make(map[string][]byte)
+		for i, k := range keys {
+			if i < len(vals) {
+				m[k] = vals[i]
+			} else {
+				m[k] = nil
+			}
+		}
+		block := encodeKVBlock(m)
+		got, n, err := decodeKVBlock(block)
+		if err != nil || n != len(block) || len(got) != len(m) {
+			return false
+		}
+		for k, v := range m {
+			gv, ok := got[k]
+			if !ok && v != nil {
+				return false
+			}
+			if (v == nil) != (gv == nil) {
+				return false
+			}
+			if !bytes.Equal(gv, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornJournalTailIgnored(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	s, _ := Open(disk, "db", Options{})
+	tx := s.Begin(true)
+	_ = tx.Put("good", []byte("v"))
+	_ = tx.Commit()
+	// Corrupt the journal tail, simulating a torn write.
+	j := disk.OpenFile("db.journal")
+	_, _ = j.WriteAt([]byte{1, 2, 3}, j.Size())
+	s2, err := Open(disk, "db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("good"); !ok {
+		t.Fatal("valid prefix lost")
+	}
+}

@@ -1,0 +1,350 @@
+// Package simdisk simulates the dedicated log disks used in the paper's
+// evaluation (SIGMOD 2007, §5.1-§5.2).
+//
+// The paper's response-time analysis is driven entirely by a simple disk
+// latency formula for flushing n sectors on a 7200 RPM disk with 63
+// sectors per track:
+//
+//	TFn = rot/2 + n/63·rot + n/63·trackSeek
+//
+// plus an occasional random seek caused by operating-system interference
+// (the paper estimates TF2 ≈ 4.5 ms + 10.5 ms/3 = 8 ms). This package
+// charges exactly that formula, scaled by a configurable TimeScale so that
+// experiments preserving every latency ratio can run quickly.
+//
+// A Disk serializes its I/O charges: two concurrent flushes on the same
+// disk queue behind one another, while flushes on different Disks proceed
+// in parallel — matching the paper's observation that the local flushes of
+// a distributed log flush run in parallel "unless the physical logs of
+// MSPs in the service domain share a disk controller".
+//
+// Durability semantics: data written to a File survives a crash; anything
+// a client of this package buffers in its own memory does not. The WAL and
+// position-stream layers build their volatile buffers on top of this rule.
+package simdisk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mspr/internal/simtime"
+)
+
+// SectorSize is the disk sector size in bytes. Log blocks are aligned to
+// sector boundaries, as in the paper (§5.2).
+const SectorSize = 512
+
+// Model holds the physical parameters of a simulated disk. The zero value
+// is not useful; use DefaultModel (the paper's server disks) as a base.
+type Model struct {
+	// RPM is the rotational speed (7200 in the paper).
+	RPM int
+	// SectorsPerTrack is the number of sectors per track (63 in the paper).
+	SectorsPerTrack int
+	// TrackSeekWrite and TrackSeekRead are track-to-track seek times
+	// (1.2 ms / 1.0 ms in the paper).
+	TrackSeekWrite time.Duration
+	TrackSeekRead  time.Duration
+	// AvgSeekWrite and AvgSeekRead are average random-seek times
+	// (10.5 ms / 9.5 ms in the paper).
+	AvgSeekWrite time.Duration
+	AvgSeekRead  time.Duration
+	// OSSeekFraction is the fraction of flushes that incur a random seek
+	// because the operating system also uses the disk. The paper's crude
+	// estimate charges AvgSeek/3 per flush, i.e. a fraction of 1/3.
+	OSSeekFraction float64
+	// TimeScale multiplies every charged latency. 1.0 reproduces the
+	// paper's wall-clock model; small values (e.g. 0.02) preserve all
+	// ratios while letting experiments finish quickly; 0 disables
+	// sleeping entirely (useful in unit tests).
+	TimeScale float64
+}
+
+// DefaultModel returns the disk model of the paper's server computers
+// (Fig. 13) at the given time scale.
+func DefaultModel(timeScale float64) Model {
+	return Model{
+		RPM:             7200,
+		SectorsPerTrack: 63,
+		TrackSeekWrite:  1200 * time.Microsecond,
+		TrackSeekRead:   1000 * time.Microsecond,
+		AvgSeekWrite:    10500 * time.Microsecond,
+		AvgSeekRead:     9500 * time.Microsecond,
+		OSSeekFraction:  1.0 / 3.0,
+		TimeScale:       timeScale,
+	}
+}
+
+// rotation returns the time of one full disk rotation.
+func (m Model) rotation() time.Duration {
+	if m.RPM == 0 {
+		return 0
+	}
+	return time.Duration(60_000_000_000 / int64(m.RPM))
+}
+
+// WriteTime returns the model (unscaled) time to flush n sectors:
+// half a rotation of latency, plus transfer and track-to-track seeks
+// proportional to n, plus the expected OS-interference seek.
+func (m Model) WriteTime(n int) time.Duration {
+	if n <= 0 || m.SectorsPerTrack == 0 {
+		return 0
+	}
+	rot := m.rotation()
+	d := rot / 2
+	d += time.Duration(n) * (rot + m.TrackSeekWrite) / time.Duration(m.SectorsPerTrack)
+	d += time.Duration(float64(m.AvgSeekWrite) * m.OSSeekFraction)
+	return d
+}
+
+// ReadTime returns the model (unscaled) time to read n sectors. Recovery
+// reads are mostly sequential (§5.4), so no OS-interference seek is
+// charged; the formula matches the paper's 1 MB-log-read estimate.
+func (m Model) ReadTime(n int) time.Duration {
+	if n <= 0 || m.SectorsPerTrack == 0 {
+		return 0
+	}
+	rot := m.rotation()
+	d := rot / 2
+	d += time.Duration(n) * (rot + m.TrackSeekRead) / time.Duration(m.SectorsPerTrack)
+	return d
+}
+
+// Stats accumulates the I/O activity of a Disk. All counters are totals
+// since the Disk was created; times are in model (unscaled) duration.
+type Stats struct {
+	Writes      int64         // number of write charges (flushes)
+	SectorsOut  int64         // sectors written
+	WastedBytes int64         // partial-sector padding written (bytes carrying no payload)
+	Reads       int64         // number of read charges
+	SectorsIn   int64         // sectors read
+	WriteTime   time.Duration // model time spent writing
+	ReadTime    time.Duration // model time spent reading
+}
+
+// Disk is a simulated disk: a latency domain plus a set of named Files.
+// All I/O charges on one Disk are serialized.
+type Disk struct {
+	model Model
+
+	io sync.Mutex // serializes latency charges (a disk has one head)
+
+	mu    sync.Mutex // guards files and stats
+	files map[string]*File
+	stats Stats
+}
+
+// NewDisk creates an empty simulated disk with the given model.
+func NewDisk(model Model) *Disk {
+	return &Disk{model: model, files: make(map[string]*File)}
+}
+
+// Model returns the disk's latency model.
+func (d *Disk) Model() Model { return d.model }
+
+// Stats returns a snapshot of the disk's accumulated I/O statistics.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// OpenFile returns the named File, creating it empty if absent. Files are
+// durable: their contents survive process "crashes" (which only discard
+// state clients keep outside this package).
+func (d *Disk) OpenFile(name string) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		f = &File{disk: d, name: name}
+		d.files[name] = f
+	}
+	return f
+}
+
+// ChargeWrite blocks for the (scaled) time to flush n sectors and records
+// the activity. wastedBytes counts padding bytes included in the n sectors
+// that carry no payload (the paper's "half a sector wasted on every flush").
+func (d *Disk) ChargeWrite(n, wastedBytes int) {
+	if n <= 0 {
+		return
+	}
+	t := d.model.WriteTime(n)
+	d.mu.Lock()
+	d.stats.Writes++
+	d.stats.SectorsOut += int64(n)
+	d.stats.WastedBytes += int64(wastedBytes)
+	d.stats.WriteTime += t
+	d.mu.Unlock()
+	d.sleep(t)
+}
+
+// ChargeRead blocks for the (scaled) time to read n sectors and records
+// the activity.
+func (d *Disk) ChargeRead(n int) {
+	if n <= 0 {
+		return
+	}
+	t := d.model.ReadTime(n)
+	d.mu.Lock()
+	d.stats.Reads++
+	d.stats.SectorsIn += int64(n)
+	d.stats.ReadTime += t
+	d.mu.Unlock()
+	d.sleep(t)
+}
+
+func (d *Disk) sleep(t time.Duration) {
+	scaled := time.Duration(float64(t) * d.model.TimeScale)
+	if scaled <= 0 {
+		return
+	}
+	d.io.Lock()
+	simtime.Sleep(scaled)
+	d.io.Unlock()
+}
+
+// File is a named durable byte region on a Disk. The zero value is not
+// usable; obtain Files from Disk.OpenFile. File methods do not charge
+// latency themselves — callers charge the Disk according to the I/O they
+// model (e.g. a WAL flush of several buffered records is one block write).
+type File struct {
+	disk *Disk
+	name string
+
+	mu   sync.RWMutex
+	base int64 // bytes discarded from the front (log-head truncation)
+	data []byte
+}
+
+// Name returns the file's name on its disk.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current length of the file in bytes (including any
+// discarded prefix).
+func (f *File) Size() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.base + int64(len(f.data))
+}
+
+// WriteAt writes p at offset off, growing the file (zero-filled) as
+// needed. The write is durable when WriteAt returns. Writing into a
+// discarded prefix is an error.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("simdisk: negative offset %d writing %q", off, f.name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < f.base {
+		return 0, fmt.Errorf("simdisk: write at %d below discarded prefix %d of %q", off, f.base, f.name)
+	}
+	rel := off - f.base
+	end := rel + int64(len(p))
+	if end > int64(len(f.data)) {
+		if end > int64(cap(f.data)) {
+			// Grow geometrically: appends are the common case (logs,
+			// journals) and a linear reallocation per write would make
+			// file growth quadratic.
+			newCap := int64(cap(f.data)) * 2
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.data)
+			f.data = grown
+		} else {
+			f.data = f.data[:end]
+		}
+	}
+	copy(f.data[rel:end], p)
+	return len(p), nil
+}
+
+// ReadAt reads into p from offset off. Reads past the end of the file or
+// inside a discarded prefix return zero bytes for those regions and no
+// error, mimicking a sparse preallocated log.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("simdisk: negative offset %d reading %q", off, f.name)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for i := range p {
+		p[i] = 0
+	}
+	skip := int64(0)
+	if off < f.base {
+		skip = f.base - off
+		if skip >= int64(len(p)) {
+			return 0, nil
+		}
+	}
+	rel := off + skip - f.base
+	if rel >= int64(len(f.data)) {
+		return 0, nil
+	}
+	n := copy(p[skip:], f.data[rel:])
+	return int(skip) + n, nil
+}
+
+// Truncate sets the file's length, discarding data beyond size.
+func (f *File) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("simdisk: negative size %d truncating %q", size, f.name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < f.base {
+		f.base = size
+		f.data = nil
+		return nil
+	}
+	rel := size - f.base
+	if rel <= int64(len(f.data)) {
+		f.data = f.data[:rel]
+	} else {
+		grown := make([]byte, rel)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	return nil
+}
+
+// Discard releases the prefix of the file before off (log-head
+// truncation, §3.2 "the session's previous log records can be
+// discarded"). Subsequent reads of the region return zeros; the memory
+// is freed.
+func (f *File) Discard(before int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if before <= f.base {
+		return
+	}
+	if before >= f.base+int64(len(f.data)) {
+		f.base += int64(len(f.data))
+		f.data = nil
+		if before > f.base {
+			f.base = before
+		}
+		return
+	}
+	n := before - f.base
+	remaining := make([]byte, int64(len(f.data))-n)
+	copy(remaining, f.data[n:])
+	f.data = remaining
+	f.base = before
+}
+
+// DiscardedPrefix returns how many leading bytes have been discarded.
+func (f *File) DiscardedPrefix() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.base
+}
+
+// Disk returns the disk this file lives on.
+func (f *File) Disk() *Disk { return f.disk }

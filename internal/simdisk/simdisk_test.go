@@ -1,0 +1,230 @@
+package simdisk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteTimeMatchesPaperFormula(t *testing.T) {
+	m := DefaultModel(0)
+	// The paper computes TFn = 60000/7200/2 + n/63·60000/7200 + n/63·1.2 ms
+	// and estimates TF2 ≈ 4.5 ms before OS interference, ≈ 8 ms with the
+	// AvgSeek/3 correction.
+	tf2 := m.WriteTime(2)
+	if tf2 < 7500*time.Microsecond || tf2 > 8500*time.Microsecond {
+		t.Fatalf("TF2 = %v, want ≈8 ms", tf2)
+	}
+	noOS := m
+	noOS.OSSeekFraction = 0
+	raw := noOS.WriteTime(2)
+	if raw < 4300*time.Microsecond || raw > 4800*time.Microsecond {
+		t.Fatalf("raw TF2 = %v, want ≈4.5 ms", raw)
+	}
+}
+
+func TestReadTimeForRecoveryRead(t *testing.T) {
+	m := DefaultModel(0)
+	// §5.4: a 64 KB (128-sector) read costs ≈ 60000/7200/2 + 128/63·(rot+1ms)
+	// ≈ 4.17 + 128/63·9.33 ≈ 23.1 ms.
+	tr := m.ReadTime(128)
+	if tr < 22*time.Millisecond || tr > 25*time.Millisecond {
+		t.Fatalf("128-sector read = %v, want ≈23 ms", tr)
+	}
+}
+
+func TestWriteTimeMonotonicInSectors(t *testing.T) {
+	m := DefaultModel(0)
+	prop := func(a, b uint8) bool {
+		x, y := int(a%100)+1, int(b%100)+1
+		if x > y {
+			x, y = y, x
+		}
+		return m.WriteTime(x) <= m.WriteTime(y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSectorsZeroTime(t *testing.T) {
+	m := DefaultModel(0)
+	if m.WriteTime(0) != 0 || m.ReadTime(0) != 0 {
+		t.Fatal("zero sectors should cost nothing")
+	}
+}
+
+func TestFileReadWriteRoundTrip(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	f := d.OpenFile("x")
+	if _, err := f.WriteAt([]byte("hello"), 10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("got %q", buf)
+	}
+	if f.Size() != 15 {
+		t.Fatalf("size %d", f.Size())
+	}
+}
+
+func TestFileZeroFill(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	f := d.OpenFile("x")
+	_, _ = f.WriteAt([]byte("abc"), 100)
+	buf := make([]byte, 10)
+	_, _ = f.ReadAt(buf, 0)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	// Reads past the end zero-fill the buffer.
+	buf = bytes.Repeat([]byte{0xFF}, 8)
+	_, _ = f.ReadAt(buf, 1000)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("past-end byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestFileTruncate(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	f := d.OpenFile("x")
+	_, _ = f.WriteAt([]byte("abcdef"), 0)
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3 {
+		t.Fatalf("size %d", f.Size())
+	}
+	if err := f.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	_, _ = f.ReadAt(buf, 0)
+	if string(buf[:3]) != "abc" || buf[5] != 0 {
+		t.Fatalf("truncate-grow content %q", buf)
+	}
+}
+
+func TestOpenFileIdentity(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	a := d.OpenFile("same")
+	b := d.OpenFile("same")
+	if a != b {
+		t.Fatal("OpenFile should return the same File for the same name")
+	}
+}
+
+func TestNegativeOffsetsRejected(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	f := d.OpenFile("x")
+	if _, err := f.WriteAt([]byte("a"), -1); err == nil {
+		t.Fatal("negative write offset accepted")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative read offset accepted")
+	}
+	if err := f.Truncate(-1); err == nil {
+		t.Fatal("negative truncate accepted")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	d.ChargeWrite(3, 100)
+	d.ChargeWrite(2, 50)
+	d.ChargeRead(128)
+	st := d.Stats()
+	if st.Writes != 2 || st.SectorsOut != 5 || st.WastedBytes != 150 {
+		t.Fatalf("write stats %+v", st)
+	}
+	if st.Reads != 1 || st.SectorsIn != 128 {
+		t.Fatalf("read stats %+v", st)
+	}
+	if st.WriteTime <= 0 || st.ReadTime <= 0 {
+		t.Fatalf("times not accounted: %+v", st)
+	}
+}
+
+func TestTimeScaleSleeps(t *testing.T) {
+	// At scale 1e-3 a TF2 of ~8 ms should sleep ~8 µs; mainly we check it
+	// does not sleep unscaled.
+	d := NewDisk(DefaultModel(1e-3))
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		d.ChargeWrite(2, 0)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("scaled charges took %v", elapsed)
+	}
+}
+
+func TestDiscardFreesPrefix(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	f := d.OpenFile("x")
+	_, _ = f.WriteAt(bytes.Repeat([]byte{7}, 4096), 0)
+	f.Discard(1024)
+	if f.DiscardedPrefix() != 1024 {
+		t.Fatalf("prefix = %d", f.DiscardedPrefix())
+	}
+	if f.Size() != 4096 {
+		t.Fatalf("size changed: %d", f.Size())
+	}
+	buf := make([]byte, 8)
+	_, _ = f.ReadAt(buf, 0) // inside the discarded prefix: zeros
+	if buf[0] != 0 {
+		t.Fatal("discarded region should read as zeros")
+	}
+	_, _ = f.ReadAt(buf, 2048)
+	if buf[0] != 7 {
+		t.Fatal("retained region lost")
+	}
+	// Writes below the prefix are rejected.
+	if _, err := f.WriteAt([]byte{1}, 100); err == nil {
+		t.Fatal("write into discarded prefix accepted")
+	}
+	// Discard never regresses.
+	f.Discard(512)
+	if f.DiscardedPrefix() != 1024 {
+		t.Fatal("Discard regressed")
+	}
+	// Discard past the end clamps cleanly.
+	f.Discard(10_000)
+	if f.DiscardedPrefix() != 10_000 || f.Size() != 10_000 {
+		t.Fatalf("discard-all: prefix=%d size=%d", f.DiscardedPrefix(), f.Size())
+	}
+}
+
+func TestReadAtStraddlingDiscardBoundary(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	f := d.OpenFile("x")
+	_, _ = f.WriteAt([]byte("abcdefgh"), 0)
+	f.Discard(4)
+	buf := make([]byte, 8)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 || string(buf[4:]) != "efgh" || buf[0] != 0 {
+		t.Fatalf("straddling read: n=%d buf=%q", n, buf)
+	}
+}
+
+func TestModelAccessor(t *testing.T) {
+	m := DefaultModel(0.5)
+	d := NewDisk(m)
+	if d.Model().TimeScale != 0.5 || d.Model().RPM != 7200 {
+		t.Fatalf("Model() = %+v", d.Model())
+	}
+	if d.OpenFile("n").Name() != "n" {
+		t.Fatal("Name()")
+	}
+}

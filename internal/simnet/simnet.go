@@ -1,0 +1,205 @@
+// Package simnet simulates the network of the paper's experimental setup
+// (§2.1, §5.1): message communication between a client and an MSP is
+// unreliable — messages may arrive out of order, be duplicated, or get
+// lost — while MSPs inside a service domain enjoy fast, reliable links.
+//
+// The network is in-process: endpoints exchange messages through buffered
+// channels, with a configurable one-way latency (scaled by TimeScale like
+// every other model latency), optional random loss/duplication, and
+// optional reordering jitter. A crashed process marks its endpoint down;
+// messages delivered to a down endpoint vanish, exactly like packets sent
+// to a dead machine.
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"mspr/internal/simtime"
+)
+
+// Addr identifies an endpoint on the network.
+type Addr string
+
+// Message is a delivered network message. Payload is an arbitrary value;
+// higher layers define envelope types (see internal/rpc).
+type Message struct {
+	From    Addr
+	To      Addr
+	Payload any
+}
+
+// Config describes the network's behaviour. The zero value is a reliable,
+// zero-latency network.
+type Config struct {
+	// OneWay is the default one-way message latency (model time). The
+	// paper measures MSP↔MSP round trips of 3.596 ms and client↔MSP round
+	// trips of 3.9 ms; per-link overrides set those precisely.
+	OneWay time.Duration
+	// TimeScale multiplies every latency before sleeping (0 disables).
+	TimeScale float64
+	// LossRate is the probability a message is silently dropped.
+	LossRate float64
+	// DupRate is the probability a message is delivered twice.
+	DupRate float64
+	// ReorderJitter adds a uniform random extra delay in [0, ReorderJitter)
+	// to each delivery, which reorders closely spaced messages.
+	ReorderJitter time.Duration
+	// Seed seeds the fault-injection RNG (0 means a fixed default).
+	Seed int64
+}
+
+// Network is a set of endpoints sharing one fault/latency model.
+type Network struct {
+	cfg Config
+
+	mu    sync.Mutex
+	eps   map[Addr]*Endpoint
+	links map[[2]Addr]time.Duration
+	rng   *rand.Rand
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:   cfg,
+		eps:   make(map[Addr]*Endpoint),
+		links: make(map[[2]Addr]time.Duration),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetLinkLatency overrides the one-way latency between a and b (both
+// directions).
+func (n *Network) SetLinkLatency(a, b Addr, oneWay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]Addr{a, b}] = oneWay
+	n.links[[2]Addr{b, a}] = oneWay
+}
+
+func (n *Network) latency(from, to Addr) time.Duration {
+	if d, ok := n.links[[2]Addr{from, to}]; ok {
+		return d
+	}
+	return n.cfg.OneWay
+}
+
+// Endpoint returns (creating if needed) the endpoint at addr.
+func (n *Network) Endpoint(addr Addr) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.eps[addr]
+	if !ok {
+		ep = &Endpoint{
+			addr:  addr,
+			net:   n,
+			inbox: make(chan Message, 4096),
+		}
+		n.eps[addr] = ep
+	}
+	return ep
+}
+
+// send schedules delivery of a message, applying loss, duplication,
+// latency and jitter.
+func (n *Network) send(m Message) {
+	n.mu.Lock()
+	dst, ok := n.eps[m.To]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	lat := n.latency(m.From, m.To)
+	copies := 1
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		copies = 0
+	} else if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		copies = 2
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		d := lat
+		if n.cfg.ReorderJitter > 0 {
+			d += time.Duration(n.rng.Int63n(int64(n.cfg.ReorderJitter)))
+		}
+		delays[i] = time.Duration(float64(d) * n.cfg.TimeScale)
+	}
+	n.mu.Unlock()
+
+	for _, d := range delays {
+		if d <= 0 {
+			dst.deliver(m)
+			continue
+		}
+		simtime.After(d, func() { dst.deliver(m) })
+	}
+}
+
+// Endpoint is one process's attachment to the network.
+type Endpoint struct {
+	addr  Addr
+	net   *Network
+	inbox chan Message
+
+	mu   sync.Mutex
+	down bool
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Send transmits payload to addr. Delivery is asynchronous and, depending
+// on the network configuration, unreliable.
+func (e *Endpoint) Send(to Addr, payload any) {
+	e.net.send(Message{From: e.addr, To: to, Payload: payload})
+}
+
+// Recv returns the channel on which delivered messages arrive.
+func (e *Endpoint) Recv() <-chan Message { return e.inbox }
+
+// SetDown marks the endpoint down (crashed). While down, deliveries are
+// discarded. Bringing the endpoint back up starts with an empty inbox of
+// in-flight messages only (messages that arrived while down are lost).
+func (e *Endpoint) SetDown(down bool) {
+	e.mu.Lock()
+	e.down = down
+	if down {
+		// Drain anything already queued; a crashed process loses it.
+		for {
+			select {
+			case <-e.inbox:
+			default:
+				e.mu.Unlock()
+				return
+			}
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Down reports whether the endpoint is marked down.
+func (e *Endpoint) Down() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.down
+}
+
+func (e *Endpoint) deliver(m Message) {
+	e.mu.Lock()
+	down := e.down
+	e.mu.Unlock()
+	if down {
+		return
+	}
+	select {
+	case e.inbox <- m:
+	default:
+		// Inbox overflow models a dropped packet.
+	}
+}

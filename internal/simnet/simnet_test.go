@@ -1,0 +1,131 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func recvOne(t *testing.T, ep *Endpoint) Message {
+	t.Helper()
+	select {
+	case m := <-ep.Recv():
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+		return Message{}
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	n := New(Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", "hello")
+	m := recvOne(t, b)
+	if m.From != "a" || m.To != "b" || m.Payload != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestSendToUnknownAddressDropped(t *testing.T) {
+	n := New(Config{})
+	a := n.Endpoint("a")
+	a.Send("ghost", "x") // must not panic or block
+}
+
+func TestDownEndpointDropsDeliveries(t *testing.T) {
+	n := New(Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	b.SetDown(true)
+	a.Send("b", 1)
+	time.Sleep(10 * time.Millisecond)
+	b.SetDown(false)
+	a.Send("b", 2)
+	m := recvOne(t, b)
+	if m.Payload != 2 {
+		t.Fatalf("delivery while down leaked: %v", m.Payload)
+	}
+}
+
+func TestSetDownDrainsInbox(t *testing.T) {
+	n := New(Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", 1)
+	time.Sleep(10 * time.Millisecond)
+	b.SetDown(true)
+	b.SetDown(false)
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("message %v survived the crash", m.Payload)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(Config{LossRate: 1.0, Seed: 7})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", "x")
+	select {
+	case <-b.Recv():
+		t.Fatal("message delivered despite 100% loss")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	n := New(Config{DupRate: 1.0, Seed: 7})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", "x")
+	recvOne(t, b)
+	recvOne(t, b) // the duplicate
+}
+
+func TestLatencyScaling(t *testing.T) {
+	n := New(Config{OneWay: 10 * time.Millisecond, TimeScale: 1.0})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	start := time.Now()
+	a.Send("b", "x")
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("delivery after %v, want ≥ ~10 ms", elapsed)
+	}
+}
+
+func TestPerLinkLatencyOverride(t *testing.T) {
+	n := New(Config{OneWay: 50 * time.Millisecond, TimeScale: 1.0})
+	n.SetLinkLatency("a", "b", 0)
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	start := time.Now()
+	a.Send("b", "x")
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("override ignored: delivery after %v", elapsed)
+	}
+}
+
+func TestZeroScaleIsInstant(t *testing.T) {
+	n := New(Config{OneWay: time.Hour, TimeScale: 0})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a.Send("b", "x")
+	recvOne(t, b)
+}
+
+func TestEndpointIdentity(t *testing.T) {
+	n := New(Config{})
+	if n.Endpoint("a") != n.Endpoint("a") {
+		t.Fatal("Endpoint should be idempotent")
+	}
+}
+
+func TestManyMessagesOrderedOnReliableInstantNetwork(t *testing.T) {
+	n := New(Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	for i := 0; i < 100; i++ {
+		a.Send("b", i)
+	}
+	for i := 0; i < 100; i++ {
+		m := recvOne(t, b)
+		if m.Payload != i {
+			t.Fatalf("message %d arrived as %v", i, m.Payload)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package simtime provides precise short sleeps for the simulation
+// layers. The experiments scale the paper's millisecond-class latencies
+// (disk flushes, message round trips) down by a TimeScale factor, which
+// produces sleeps in the tens-to-hundreds of microseconds — far below
+// the timer granularity of many kernels (observed ≈1.1 ms on the
+// development host). A plain time.Sleep would round every modelled
+// latency up to the granularity and destroy the ratios the experiments
+// depend on.
+//
+// Sleep therefore uses the OS timer only for the coarse bulk of a wait
+// and spin-yields for the tail, giving microsecond-class precision at
+// the cost of some CPU — an acceptable trade in a simulator whose
+// "latencies" are the product being measured.
+package simtime
+
+import (
+	"runtime"
+	"time"
+)
+
+// coarse is the assumed worst-case OS timer granularity. Sleeps shorter
+// than this are fully spin-waited; longer sleeps use the OS timer for
+// all but the last coarse period.
+const coarse = 2 * time.Millisecond
+
+// Sleep pauses the calling goroutine for d with microsecond-class
+// precision. Non-positive durations return immediately.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > coarse {
+		time.Sleep(d - coarse)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// After runs f after d, using a goroutine with a precise Sleep rather
+// than a coarse runtime timer.
+func After(d time.Duration, f func()) {
+	if d <= 0 {
+		f()
+		return
+	}
+	go func() {
+		Sleep(d)
+		f()
+	}()
+}

@@ -1,0 +1,82 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSleepZeroReturnsImmediately(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if time.Since(start) > time.Millisecond {
+		t.Fatal("non-positive sleeps should be immediate")
+	}
+}
+
+func TestSleepPrecisionShort(t *testing.T) {
+	// A 100 µs sleep must not round up to the kernel timer granularity
+	// (which can exceed 1 ms); allow generous-but-bounded overshoot.
+	for _, d := range []time.Duration{50 * time.Microsecond, 200 * time.Microsecond} {
+		start := time.Now()
+		Sleep(d)
+		got := time.Since(start)
+		if got < d {
+			t.Fatalf("Sleep(%v) returned after %v (too early)", d, got)
+		}
+		if got > d+500*time.Microsecond {
+			t.Fatalf("Sleep(%v) took %v (coarse-timer rounding not avoided)", d, got)
+		}
+	}
+}
+
+func TestSleepLong(t *testing.T) {
+	start := time.Now()
+	Sleep(5 * time.Millisecond)
+	got := time.Since(start)
+	if got < 5*time.Millisecond || got > 9*time.Millisecond {
+		t.Fatalf("Sleep(5ms) took %v", got)
+	}
+}
+
+func TestConcurrentSleepsOverlap(t *testing.T) {
+	// N concurrent sleeps of d must take ≈ d, not N·d, even on one CPU.
+	const n = 8
+	const d = 2 * time.Millisecond
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Sleep(d)
+		}()
+	}
+	wg.Wait()
+	if got := time.Since(start); got > 4*d {
+		t.Fatalf("%d concurrent sleeps of %v took %v (serialized?)", n, d, got)
+	}
+}
+
+func TestAfterFires(t *testing.T) {
+	ch := make(chan time.Time, 1)
+	start := time.Now()
+	After(300*time.Microsecond, func() { ch <- time.Now() })
+	select {
+	case at := <-ch:
+		if at.Sub(start) < 300*time.Microsecond {
+			t.Fatal("After fired early")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestAfterZeroRunsInline(t *testing.T) {
+	ran := false
+	After(0, func() { ran = true })
+	if !ran {
+		t.Fatal("After(0) should run synchronously")
+	}
+}

@@ -1,0 +1,311 @@
+package txmsp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"mspr/internal/core"
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func asU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func TestTxCodecRoundTrip(t *testing.T) {
+	tx := Tx{Ops: []Op{
+		{Kind: OpPut, Key: "a", Value: []byte("1")},
+		{Kind: OpGet, Key: "a"},
+		{Kind: OpAdd, Key: "n", Value: u64(5)},
+		{Kind: OpDelete, Key: "old"},
+	}}
+	got, err := DecodeTx(tx.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 4 || got.Ops[0].Key != "a" || got.Ops[2].Kind != OpAdd ||
+		!bytes.Equal(got.Ops[2].Value, u64(5)) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	res := Result{Values: [][]byte{[]byte("x"), nil, []byte("z")}}
+	gotR, err := DecodeResult(res.Encode())
+	if err != nil || len(gotR.Values) != 3 || string(gotR.Values[2]) != "z" {
+		t.Fatalf("result round trip: %+v %v", gotR, err)
+	}
+}
+
+func TestTxCodecTruncation(t *testing.T) {
+	full := Tx{Ops: []Op{{Kind: OpPut, Key: "key", Value: []byte("value")}}}.Encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeTx(full[:cut]); err == nil && cut > 0 {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// txEnv is an application MSP (logging on) calling a transactional
+// resource manager.
+type txEnv struct {
+	t       *testing.T
+	net     *simnet.Network
+	rm      *Server
+	rmCfg   Config
+	app     *core.Server
+	appCfg  core.Config
+	appDisk *simdisk.Disk
+	client  *core.Client
+	mu      sync.Mutex
+}
+
+func newTxEnv(t *testing.T) *txEnv {
+	e := &txEnv{t: t, net: simnet.New(simnet.Config{TimeScale: 0})}
+	e.rmCfg = Config{ID: "ledger-db", Net: e.net, Disk: simdisk.NewDisk(simdisk.DefaultModel(0))}
+	rm, err := Start(e.rmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.rm = rm
+
+	e.appDisk = simdisk.NewDisk(simdisk.DefaultModel(0))
+	dom := core.NewDomain("app", 0, 0)
+	def := core.Definition{
+		Methods: map[string]core.Handler{
+			// deposit adds the amount to the durable balance and returns
+			// the per-session operation count.
+			"deposit": func(ctx *core.Ctx, amount []byte) ([]byte, error) {
+				if _, err := Exec(ctx, "ledger-db", Tx{Ops: []Op{{Kind: OpAdd, Key: "balance", Value: amount}}}); err != nil {
+					return nil, err
+				}
+				n := asU64(ctx.GetVar("ops")) + 1
+				ctx.SetVar("ops", u64(n))
+				return u64(n), nil
+			},
+			"balance": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
+				res, err := Exec(ctx, "ledger-db", Tx{Ops: []Op{{Kind: OpGet, Key: "balance"}}})
+				if err != nil {
+					return nil, err
+				}
+				return res.Values[0], nil
+			},
+		},
+	}
+	e.appCfg = core.NewConfig("app", dom, e.appDisk, e.net, def)
+	app, err := core.Start(e.appCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.app = app
+	e.client = core.NewClient("teller", e.net, rpc.DefaultCallOptions(0))
+	return e
+}
+
+func (e *txEnv) cleanup() {
+	e.app.Crash()
+	e.rm.Crash()
+	e.client.Close()
+}
+
+func (e *txEnv) restartApp() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.app.Crash()
+	app, err := core.Start(e.appCfg)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	e.app = app
+}
+
+func (e *txEnv) restartRM() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rm.Crash()
+	rm, err := Start(e.rmCfg)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	e.rm = rm
+}
+
+func (e *txEnv) deposit(cs *core.ClientSession, amount, wantOps uint64) {
+	e.t.Helper()
+	out, err := cs.Call("deposit", u64(amount))
+	if err != nil {
+		e.t.Fatalf("deposit: %v", err)
+	}
+	if asU64(out) != wantOps {
+		e.t.Fatalf("deposit ops = %d, want %d", asU64(out), wantOps)
+	}
+}
+
+func (e *txEnv) balance(cs *core.ClientSession) uint64 {
+	e.t.Helper()
+	out, err := cs.Call("balance", nil)
+	if err != nil {
+		e.t.Fatalf("balance: %v", err)
+	}
+	return asU64(out)
+}
+
+func TestExactlyOnceTransactions(t *testing.T) {
+	e := newTxEnv(t)
+	defer e.cleanup()
+	cs := e.client.Session("app")
+	for i := uint64(1); i <= 5; i++ {
+		e.deposit(cs, 10, i)
+	}
+	if got := e.balance(cs); got != 50 {
+		t.Fatalf("balance = %d, want 50", got)
+	}
+}
+
+func TestTransactionsSurviveRMCrash(t *testing.T) {
+	e := newTxEnv(t)
+	defer e.cleanup()
+	cs := e.client.Session("app")
+	e.deposit(cs, 100, 1)
+	e.restartRM()
+	e.deposit(cs, 100, 2)
+	if got := e.balance(cs); got != 200 {
+		t.Fatalf("balance after RM crash = %d, want 200", got)
+	}
+}
+
+// TestAppReplayDoesNotReexecuteTransactions is the heart of the
+// integration: the application MSP crashes and replays its sessions; the
+// logged transaction replies replay from the log and the durable balance
+// is unchanged — no transaction runs twice.
+func TestAppReplayDoesNotReexecuteTransactions(t *testing.T) {
+	e := newTxEnv(t)
+	defer e.cleanup()
+	cs := e.client.Session("app")
+	for i := uint64(1); i <= 4; i++ {
+		e.deposit(cs, 25, i)
+	}
+	e.restartApp()
+	// The session replays its four deposits from the log; a fifth runs
+	// live. Exactly-once means the balance is 5 × 25.
+	e.deposit(cs, 25, 5)
+	if got := e.balance(cs); got != 125 {
+		t.Fatalf("balance after app crash = %d, want 125 (transactions re-executed or lost)", got)
+	}
+	if v, ok := e.rm.Read("balance"); !ok || asU64(v) != 125 {
+		t.Fatalf("store audit: %v %v", v, ok)
+	}
+}
+
+func TestBothCrashesInterleaved(t *testing.T) {
+	e := newTxEnv(t)
+	defer e.cleanup()
+	cs := e.client.Session("app")
+	want := uint64(0)
+	ops := uint64(0)
+	for round := 0; round < 3; round++ {
+		ops++
+		want += 7
+		e.deposit(cs, 7, ops)
+		e.restartApp()
+		ops++
+		want += 7
+		e.deposit(cs, 7, ops)
+		e.restartRM()
+	}
+	if got := e.balance(cs); got != want {
+		t.Fatalf("balance = %d, want %d", got, want)
+	}
+}
+
+func TestDuplicateDeliveryDedupedByStore(t *testing.T) {
+	// A lossy, duplicating network delivers transaction requests twice;
+	// the testable-transaction records must absorb them.
+	net := simnet.New(simnet.Config{TimeScale: 0, DupRate: 0.5, LossRate: 0.1, Seed: 3})
+	rmCfg := Config{ID: "db", Net: net, Disk: simdisk.NewDisk(simdisk.DefaultModel(0))}
+	rm, err := Start(rmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rm.Crash()
+	dom := core.NewDomain("app", 0, 0)
+	def := core.Definition{
+		Methods: map[string]core.Handler{
+			"bump": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
+				res, err := Exec(ctx, "db", Tx{Ops: []Op{
+					{Kind: OpAdd, Key: "n", Value: u64(1)},
+					{Kind: OpGet, Key: "n"},
+				}})
+				if err != nil {
+					return nil, err
+				}
+				return res.Values[0], nil
+			},
+		},
+	}
+	app, err := core.Start(core.NewConfig("app", dom, simdisk.NewDisk(simdisk.DefaultModel(0)), net, def))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Crash()
+	client := core.NewClient("c", net, rpc.DefaultCallOptions(0))
+	defer client.Close()
+	cs := client.Session("app")
+	for i := uint64(1); i <= 20; i++ {
+		out, err := cs.Call("bump", nil)
+		if err != nil {
+			t.Fatalf("bump %d: %v", i, err)
+		}
+		if asU64(out) != i {
+			t.Fatalf("bump %d returned %d (duplicate transaction executed)", i, asU64(out))
+		}
+	}
+}
+
+func TestStatelessSessionsAcceptAnySeq(t *testing.T) {
+	net := simnet.New(simnet.Config{TimeScale: 0})
+	rm, err := Start(Config{ID: "db", Net: net, Disk: simdisk.NewDisk(simdisk.DefaultModel(0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rm.Crash()
+	// Talk to the RM directly with raw envelopes at arbitrary sequence
+	// numbers — as a restarted caller would.
+	ep := net.Endpoint("raw")
+	tx := Tx{Ops: []Op{{Kind: OpAdd, Key: "x", Value: u64(1)}}}
+	send := func(seq uint64) {
+		ep.Send("db", rpc.Request{Session: "ghost", Seq: seq, Method: "exec",
+			Arg: tx.Encode(), From: ep.Addr()})
+	}
+	recv := func(seq uint64) {
+		t.Helper()
+		for {
+			m := <-ep.Recv()
+			if rep, ok := m.Payload.(rpc.Reply); ok && rep.Seq == seq {
+				if rep.Status != rpc.StatusOK {
+					t.Fatalf("seq %d: %v %s", seq, rep.Status, rep.Payload)
+				}
+				return
+			}
+		}
+	}
+	send(7) // no NewSession flag, arbitrary seq: accepted
+	recv(7)
+	send(3) // out of order: accepted, executes (different tx id)
+	recv(3)
+	send(7) // duplicate: accepted, deduplicated by the store
+	recv(7)
+	if v, ok := rm.Read("x"); !ok || asU64(v) != 2 {
+		t.Fatalf("x = %v %v, want 2 (seq 7 executed twice or seq 3 dropped)", v, ok)
+	}
+}

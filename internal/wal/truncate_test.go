@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mspr/internal/simdisk"
+)
+
+func fillLog(t *testing.T, l *Log, n int) []LSN {
+	t.Helper()
+	lsns := make([]LSN, n)
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(1, []byte(fmt.Sprintf("record-%04d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns[i] = lsn
+	}
+	if err := l.Flush(lsns[n-1]); err != nil {
+		t.Fatal(err)
+	}
+	return lsns
+}
+
+func TestTruncateHeadHidesOldRecords(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	lsns := fillLog(t, l, 100)
+	head := lsns[40]
+	l.TruncateHead(head)
+	if l.Head() != head {
+		t.Fatalf("head = %d, want %d", l.Head(), head)
+	}
+	if _, _, err := l.ReadRecord(lsns[10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read below head: %v", err)
+	}
+	if _, payload, err := l.ReadRecord(lsns[40]); err != nil || string(payload) != "record-0040" {
+		t.Fatalf("read at head: (%q, %v)", payload, err)
+	}
+	if _, payload, err := l.ReadRecord(lsns[99]); err != nil || string(payload) != "record-0099" {
+		t.Fatalf("read above head: (%q, %v)", payload, err)
+	}
+}
+
+func TestTruncateHeadScanStartsAtHead(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	lsns := fillLog(t, l, 50)
+	l.TruncateHead(lsns[20])
+	var got []string
+	if _, err := l.Scan(0, func(lsn LSN, typ byte, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 || got[0] != "record-0020" {
+		t.Fatalf("scan after truncation: %d records, first %q", len(got), got[0])
+	}
+}
+
+func TestTruncateHeadFreesMemory(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	l, err := Open(disk, "log", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last LSN
+	for i := 0; i < 100; i++ {
+		last, _ = l.Append(1, make([]byte, 4096))
+		_ = l.Flush(last)
+	}
+	l.TruncateHead(last)
+	f := disk.OpenFile("log")
+	if f.DiscardedPrefix() == 0 {
+		t.Fatal("truncation freed no memory")
+	}
+	if f.DiscardedPrefix() > int64(last) {
+		t.Fatalf("discarded %d bytes beyond head %d", f.DiscardedPrefix(), last)
+	}
+}
+
+func TestTruncateHeadIsMonotonic(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	lsns := fillLog(t, l, 30)
+	l.TruncateHead(lsns[20])
+	l.TruncateHead(lsns[5]) // regression attempt: ignored
+	if l.Head() != lsns[20] {
+		t.Fatalf("head regressed to %d", l.Head())
+	}
+}
+
+func TestTruncateHeadCappedAtDurable(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	lsns := fillLog(t, l, 10)
+	volatileLSN, _ := l.Append(1, []byte("unflushed"))
+	l.TruncateHead(volatileLSN + 10_000)
+	if l.Head() > l.Durable() {
+		t.Fatalf("head %d beyond durable %d", l.Head(), l.Durable())
+	}
+	_ = lsns
+}
+
+func TestReopenAfterTruncation(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	l, _ := Open(disk, "log", Config{})
+	var lsns []LSN
+	for i := 0; i < 60; i++ {
+		lsn, _ := l.Append(1, []byte(fmt.Sprintf("r%d", i)))
+		lsns = append(lsns, lsn)
+	}
+	_ = l.Flush(lsns[59])
+	_ = l.WriteAnchor(Anchor{Epoch: 1, CheckpointLSN: lsns[30], Head: lsns[30]})
+	l.TruncateHead(lsns[30])
+	l.Close()
+
+	l2, err := Open(disk, "log", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok, err := l2.ReadAnchor()
+	if err != nil || !ok || a.Head != lsns[30] {
+		t.Fatalf("anchor after reopen: %+v %v %v", a, ok, err)
+	}
+	l2.TruncateHead(a.Head)
+	count := 0
+	last, err := l2.Scan(a.Head, func(LSN, byte, []byte) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 30 || last != lsns[59] {
+		t.Fatalf("post-reopen scan: %d records, last %d (want 30, %d)", count, last, lsns[59])
+	}
+	// New appends continue beyond the old tail.
+	lsn, err := l2.Append(2, []byte("new"))
+	if err != nil || lsn <= lsns[59] {
+		t.Fatalf("append after reopen: %d, %v", lsn, err)
+	}
+}
+
+func TestAnchorHeadRoundTrip(t *testing.T) {
+	l, _ := newTestLog(t, Config{})
+	want := Anchor{Epoch: 3, CheckpointLSN: 777, Head: 512}
+	if err := l.WriteAnchor(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := l.ReadAnchor()
+	if err != nil || !ok || got != want {
+		t.Fatalf("anchor round trip: %+v %v %v", got, ok, err)
+	}
+}

@@ -1,0 +1,627 @@
+// Package wal implements the single physical log that every MSP shares
+// among all of its sessions and shared variables (§1.3, §3).
+//
+// The log is an append-only sequence of typed records identified by their
+// LSN (byte offset). Appends go to a volatile buffer; a flush writes the
+// whole buffer as one sector-aligned log block, so "flush up to LSN n" may
+// make more than n durable — which is always safe. Because log blocks are
+// aligned at sector boundaries and a block's last sector may not be full,
+// on average half a sector is wasted per flush (§5.2); the padding is
+// charged to the simulated disk and accounted in its statistics.
+//
+// Batch flushing (§5.5, "group commit") is supported: with a non-zero
+// BatchTimeout, a flush request is not executed immediately but after the
+// timeout, giving concurrent requests the chance to be satisfied by a
+// single larger write.
+//
+// Crash semantics follow the paper exactly: a crash loses the volatile
+// buffer; only flushed records survive. Simulated crashes discard the Log
+// object and re-Open the same disk file, then scan to find the largest
+// persistent LSN (the recovered state number broadcast in §4.3).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"mspr/internal/simdisk"
+	"mspr/internal/simtime"
+)
+
+// LSN is a log sequence number: the byte offset of a record in the
+// physical log. LSN 0 is never a valid record (the first sector of the
+// log file holds a header), so the zero value safely means "none".
+type LSN int64
+
+// headerSize is the reserved prefix of the log file (one sector).
+const headerSize = simdisk.SectorSize
+
+var logMagic = [8]byte{'M', 'S', 'P', 'R', 'L', 'O', 'G', '1'}
+
+// Record framing: [type:1][payloadLen:u32][payload][crc32:u32] where the
+// CRC covers type byte and payload. Type 0 marks sector padding.
+const frameOverhead = 1 + 4 + 4
+
+// ErrNotFound is returned by ReadRecord for an LSN that does not hold a
+// valid record.
+var ErrNotFound = errors.New("wal: record not found")
+
+// ErrTruncated is returned when reading below the log head: the record
+// was discarded after a checkpoint made it unnecessary (§3.2, §3.4).
+var ErrTruncated = errors.New("wal: record truncated (below log head)")
+
+// Config controls a Log's flushing behaviour.
+type Config struct {
+	// BatchTimeout, if non-zero, delays every flush request by this model
+	// duration so that several requests can share one disk write (§5.5).
+	// The paper's experiments use 8 ms, roughly one log-write time.
+	BatchTimeout time.Duration
+	// MaxBuffer bounds the volatile buffer; an Append that would exceed it
+	// triggers a flush of the buffered records first. The paper's log
+	// blocks vary from 1 to 128 sectors; the default is 128 sectors.
+	MaxBuffer int
+	// ReadAhead is the size of recovery-time log reads. The paper uses
+	// 128 sectors (64 KB) so that one read serves many replayed records.
+	ReadAhead int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBuffer <= 0 {
+		c.MaxBuffer = 128 * simdisk.SectorSize
+	}
+	if c.ReadAhead <= 0 {
+		c.ReadAhead = 128 * simdisk.SectorSize
+	}
+	return c
+}
+
+// Log is an MSP's physical log. It is safe for concurrent use by the
+// MSP's worker threads.
+type Log struct {
+	cfg    Config
+	disk   *simdisk.Disk
+	file   *simdisk.File
+	anchor *simdisk.File
+
+	mu         sync.Mutex
+	head       LSN        // records below head have been discarded
+	cond       *sync.Cond // broadcast when durable advances or batch state changes
+	buf        []byte     // volatile buffer: records appended since bufStart
+	bufStart   LSN        // LSN of buf[0]; always sector-aligned
+	nextLSN    LSN        // LSN the next Append will receive
+	durable    LSN        // exclusive durable frontier
+	pending    []byte     // region being written by an in-flight flush
+	pendStart  LSN        // LSN of pending[0]
+	flushGen   int64      // increments when a flush completes
+	batchArm   bool       // a batch timer is running
+	closed     bool
+	flushErr   error
+	appendSeal bool // reject appends (used only by tests simulating a wedged log)
+
+	flushMu sync.Mutex // serializes physical flushes
+
+	readMu     sync.Mutex       // guards the read-ahead cache
+	cache      map[int64][]byte // read-ahead blocks by device offset
+	cacheOrder []int64          // FIFO eviction order
+}
+
+// readCacheBlocks bounds the read-ahead cache (per log). Parallel session
+// recovery (§4.3) interleaves reads from several log regions; a handful
+// of cached blocks keeps each replaying session's locality intact.
+const readCacheBlocks = 8
+
+// Open opens (creating if necessary) the named log on disk. After a crash,
+// Open alone does not determine the durable frontier precisely; the
+// recovery scan (Scan) reports the last valid record so the caller can
+// learn the recovered state number.
+func Open(disk *simdisk.Disk, name string, cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	l := &Log{
+		cfg:    cfg,
+		disk:   disk,
+		file:   disk.OpenFile(name),
+		anchor: disk.OpenFile(name + ".anchor"),
+		cache:  make(map[int64][]byte),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	size := l.file.Size()
+	switch {
+	case size == 0:
+		hdr := make([]byte, headerSize)
+		copy(hdr, logMagic[:])
+		if _, err := l.file.WriteAt(hdr, 0); err != nil {
+			return nil, fmt.Errorf("wal: writing header: %w", err)
+		}
+		size = headerSize
+	case l.file.DiscardedPrefix() >= headerSize:
+		// Head truncation discarded the header sector along with the dead
+		// records; the anchor (validated separately) vouches for the log.
+		l.head = LSN(l.file.DiscardedPrefix())
+	default:
+		hdr := make([]byte, len(logMagic))
+		if _, err := l.file.ReadAt(hdr, 0); err != nil {
+			return nil, fmt.Errorf("wal: reading header: %w", err)
+		}
+		if [8]byte(hdr) != logMagic {
+			return nil, fmt.Errorf("wal: %q is not a log file", name)
+		}
+	}
+	end := alignUp(size)
+	l.bufStart = LSN(end)
+	l.nextLSN = LSN(end)
+	l.durable = LSN(end)
+	return l, nil
+}
+
+func alignUp(n int64) int64 {
+	const s = simdisk.SectorSize
+	return (n + s - 1) / s * s
+}
+
+// Append adds a record to the volatile buffer and returns its LSN. The
+// record is not durable until a Flush covering its LSN completes.
+func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
+	if typ == 0 {
+		return 0, errors.New("wal: record type 0 is reserved for padding")
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, errors.New("wal: log closed")
+	}
+	if len(l.buf)+len(payload)+frameOverhead > l.cfg.MaxBuffer && len(l.buf) > 0 {
+		// Buffer full: force a flush of what we have, then append.
+		upTo := l.nextLSN - 1
+		l.mu.Unlock()
+		if err := l.flushNow(upTo); err != nil {
+			return 0, err
+		}
+		l.mu.Lock()
+	}
+	lsn := l.nextLSN
+	l.buf = appendFrame(l.buf, typ, payload)
+	l.nextLSN += LSN(len(payload) + frameOverhead)
+	l.mu.Unlock()
+	return lsn, nil
+}
+
+func appendFrame(buf []byte, typ byte, payload []byte) []byte {
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+	return buf
+}
+
+// Durable returns the exclusive durable frontier: every record with
+// LSN < Durable() survives a crash.
+func (l *Log) Durable() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Next returns the LSN the next Append will be assigned.
+func (l *Log) Next() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// LastAppended returns the LSN of the most recently appended record, or 0
+// if nothing has been appended since the log was opened.
+func (l *Log) LastAppended() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextLSN == l.bufStart && len(l.pending) == 0 {
+		return 0
+	}
+	return l.nextLSN - 1 // any LSN within the last record identifies it for flushing
+}
+
+// Flush makes every record with LSN ≤ upTo durable. With batch flushing
+// enabled the request waits for the batch timeout so concurrent requests
+// share a single write; otherwise the flush is issued immediately.
+func (l *Log) Flush(upTo LSN) error {
+	l.mu.Lock()
+	if upTo < l.durable {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.cfg.BatchTimeout <= 0 {
+		l.mu.Unlock()
+		return l.flushNow(upTo)
+	}
+	// Batch flushing: arm the timer if nobody has, then wait until the
+	// durable frontier covers us.
+	if !l.batchArm {
+		l.batchArm = true
+		go l.batchFlusher()
+	}
+	for l.durable <= upTo && l.flushErr == nil && !l.closed {
+		l.cond.Wait()
+	}
+	err := l.flushErr
+	closed := l.closed && l.durable <= upTo
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if closed {
+		return errors.New("wal: log closed during flush")
+	}
+	return nil
+}
+
+// batchFlusher waits the (scaled) batch timeout, then performs one flush
+// for everything buffered at that point.
+func (l *Log) batchFlusher() {
+	scaled := time.Duration(float64(l.cfg.BatchTimeout) * l.disk.Model().TimeScale)
+	if scaled <= 0 {
+		// Batching is a behavioural delay, not a modelled disk latency:
+		// keep a small window even at TimeScale 0 so requests can combine.
+		scaled = 100 * time.Microsecond
+	}
+	simtime.Sleep(scaled)
+	l.mu.Lock()
+	l.batchArm = false
+	upTo := l.nextLSN - 1
+	l.mu.Unlock()
+	if err := l.flushNow(upTo); err != nil {
+		l.mu.Lock()
+		l.flushErr = err
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// flushNow writes the buffered records (all of them, padded to a sector
+// boundary) and advances the durable frontier. Concurrent appends proceed
+// while the simulated write is in flight; their records form the next
+// block.
+func (l *Log) flushNow(upTo LSN) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wal: log closed")
+	}
+	if upTo < l.durable || len(l.buf) == 0 {
+		// A racing flush already covered this request.
+		l.mu.Unlock()
+		return nil
+	}
+	data := l.buf
+	start := l.bufStart
+	padded := alignUp(int64(start) + int64(len(data)))
+	waste := int(padded - int64(start) - int64(len(data)))
+	block := make([]byte, padded-int64(start))
+	copy(block, data)
+	l.pending = data
+	l.pendStart = start
+	l.buf = nil
+	l.bufStart = LSN(padded)
+	l.nextLSN = LSN(padded)
+	l.mu.Unlock()
+
+	if _, err := l.file.WriteAt(block, int64(start)); err != nil {
+		l.mu.Lock()
+		l.flushErr = err
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return err
+	}
+	sectors := len(block) / simdisk.SectorSize
+	l.disk.ChargeWrite(sectors, waste)
+
+	l.mu.Lock()
+	l.durable = LSN(padded)
+	l.pending = nil
+	l.flushGen++
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	// Cached read-ahead blocks covering the just-written region hold
+	// stale zeros (read before this flush); drop them.
+	l.readMu.Lock()
+	ra := int64(l.cfg.ReadAhead)
+	kept := l.cacheOrder[:0]
+	for _, base := range l.cacheOrder {
+		if base+ra > int64(start) {
+			delete(l.cache, base)
+		} else {
+			kept = append(kept, base)
+		}
+	}
+	l.cacheOrder = kept
+	l.readMu.Unlock()
+	return nil
+}
+
+// ReadRecord returns the record at lsn. Records still in the volatile
+// buffer are served from memory; durable records are read through the
+// 64 KB read-ahead cache (ascending replay reads therefore amortize to
+// one disk read per 128 sectors, as in §5.4).
+func (l *Log) ReadRecord(lsn LSN) (typ byte, payload []byte, err error) {
+	if lsn < headerSize {
+		return 0, nil, ErrNotFound
+	}
+	l.mu.Lock()
+	if lsn < l.head {
+		l.mu.Unlock()
+		return 0, nil, ErrTruncated
+	}
+	if lsn >= l.bufStart {
+		off := int(lsn - l.bufStart)
+		if off >= len(l.buf) {
+			l.mu.Unlock()
+			return 0, nil, ErrNotFound
+		}
+		typ, payload, _, err = parseFrame(l.buf[off:])
+		if err == nil {
+			payload = append([]byte(nil), payload...)
+		}
+		l.mu.Unlock()
+		return typ, payload, err
+	}
+	if lsn >= l.pendStart && l.pending != nil {
+		off := int(lsn - l.pendStart)
+		if off < len(l.pending) {
+			typ, payload, _, err = parseFrame(l.pending[off:])
+			if err == nil {
+				payload = append([]byte(nil), payload...)
+			}
+			l.mu.Unlock()
+			return typ, payload, err
+		}
+	}
+	l.mu.Unlock()
+	return l.readDurable(lsn)
+}
+
+// readDurable reads a record from the device via the read-ahead cache.
+func (l *Log) readDurable(lsn LSN) (byte, []byte, error) {
+	hdr, err := l.cachedBytes(int64(lsn), 5)
+	if err != nil {
+		return 0, nil, err
+	}
+	typ := hdr[0]
+	if typ == 0 {
+		return 0, nil, ErrNotFound
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	frame, err := l.cachedBytes(int64(lsn), int(n)+frameOverhead)
+	if err != nil {
+		return 0, nil, err
+	}
+	typ, payload, _, err := parseFrame(frame)
+	if err != nil {
+		return 0, nil, err
+	}
+	return typ, append([]byte(nil), payload...), nil
+}
+
+// cachedBytes returns n bytes starting at device offset off, reading
+// through the read-ahead cache.
+func (l *Log) cachedBytes(off int64, n int) ([]byte, error) {
+	l.readMu.Lock()
+	defer l.readMu.Unlock()
+	out := make([]byte, 0, n)
+	ra := int64(l.cfg.ReadAhead)
+	for n > 0 {
+		base := off / ra * ra
+		block, ok := l.cache[base]
+		if !ok {
+			buf := make([]byte, ra)
+			if _, err := l.file.ReadAt(buf, base); err != nil {
+				return nil, err
+			}
+			l.disk.ChargeRead(l.cfg.ReadAhead / simdisk.SectorSize)
+			if len(l.cacheOrder) >= readCacheBlocks {
+				evict := l.cacheOrder[0]
+				l.cacheOrder = l.cacheOrder[1:]
+				delete(l.cache, evict)
+			}
+			l.cache[base] = buf
+			l.cacheOrder = append(l.cacheOrder, base)
+			block = buf
+		}
+		i := int(off - base)
+		take := len(block) - i
+		if take > n {
+			take = n
+		}
+		out = append(out, block[i:i+take]...)
+		off += int64(take)
+		n -= take
+	}
+	return out, nil
+}
+
+// InvalidateCache drops the read-ahead cache. Tests use it to force
+// re-reads; recovery calls it after reopening a log.
+func (l *Log) InvalidateCache() {
+	l.readMu.Lock()
+	l.cache = make(map[int64][]byte)
+	l.cacheOrder = nil
+	l.readMu.Unlock()
+}
+
+func parseFrame(b []byte) (typ byte, payload []byte, size int, err error) {
+	if len(b) < frameOverhead {
+		return 0, nil, 0, ErrNotFound
+	}
+	typ = b[0]
+	if typ == 0 {
+		return 0, nil, 0, ErrNotFound
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	if len(b) < frameOverhead+n {
+		return 0, nil, 0, ErrNotFound
+	}
+	payload = b[5 : 5+n]
+	want := binary.LittleEndian.Uint32(b[5+n : 5+n+4])
+	crc := crc32.NewIEEE()
+	crc.Write(b[:1])
+	crc.Write(payload)
+	if crc.Sum32() != want {
+		return 0, nil, 0, fmt.Errorf("wal: bad crc at record")
+	}
+	return typ, payload, frameOverhead + n, nil
+}
+
+// Scan calls fn for every valid durable record with LSN ≥ from, in log
+// order, and returns the LSN of the last valid record seen (0 if none).
+// It charges sequential 64 KB reads, as the analysis scan of §4.3 does.
+func (l *Log) Scan(from LSN, fn func(lsn LSN, typ byte, payload []byte) error) (last LSN, err error) {
+	if from < headerSize {
+		from = headerSize
+	}
+	if h := l.Head(); from < h {
+		from = h
+	}
+	end := l.Durable()
+	off := int64(from)
+	for off < int64(end) {
+		hdr, err := l.cachedBytes(off, 1)
+		if err != nil {
+			return last, err
+		}
+		if hdr[0] == 0 {
+			// Padding: skip to the next sector boundary.
+			next := alignUp(off + 1)
+			if next == off {
+				next = off + simdisk.SectorSize
+			}
+			off = next
+			continue
+		}
+		lenb, err := l.cachedBytes(off, 5)
+		if err != nil {
+			return last, err
+		}
+		n := int(binary.LittleEndian.Uint32(lenb[1:5]))
+		if int64(n) > int64(end)-off {
+			break // truncated tail
+		}
+		frame, err := l.cachedBytes(off, n+frameOverhead)
+		if err != nil {
+			return last, err
+		}
+		typ, payload, size, perr := parseFrame(frame)
+		if perr != nil {
+			break // corrupt tail ends the valid prefix
+		}
+		if fn != nil {
+			if err := fn(LSN(off), typ, payload); err != nil {
+				return last, err
+			}
+		}
+		last = LSN(off)
+		off += int64(size)
+	}
+	return last, nil
+}
+
+// Anchor is the content of the log anchor block (§3.4): the location of
+// the most recent MSP checkpoint, the MSP's current epoch number, and
+// the log head (records below it have been discarded).
+type Anchor struct {
+	Epoch         uint32
+	CheckpointLSN LSN
+	Head          LSN
+}
+
+var anchorMagic = [4]byte{'A', 'N', 'C', '1'}
+
+// WriteAnchor durably records the anchor, charging a one-sector write.
+func (l *Log) WriteAnchor(a Anchor) error {
+	buf := make([]byte, simdisk.SectorSize)
+	copy(buf, anchorMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], a.Epoch)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(a.CheckpointLSN))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(a.Head))
+	crc := crc32.ChecksumIEEE(buf[:24])
+	binary.LittleEndian.PutUint32(buf[24:], crc)
+	if _, err := l.anchor.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	l.disk.ChargeWrite(1, 0)
+	return nil
+}
+
+// ReadAnchor returns the stored anchor, or ok=false if none was ever
+// written.
+func (l *Log) ReadAnchor() (a Anchor, ok bool, err error) {
+	if l.anchor.Size() == 0 {
+		return Anchor{}, false, nil
+	}
+	buf := make([]byte, simdisk.SectorSize)
+	if _, err := l.anchor.ReadAt(buf, 0); err != nil {
+		return Anchor{}, false, err
+	}
+	l.disk.ChargeRead(1)
+	if [4]byte(buf[:4]) != anchorMagic {
+		return Anchor{}, false, fmt.Errorf("wal: bad anchor magic")
+	}
+	if crc32.ChecksumIEEE(buf[:24]) != binary.LittleEndian.Uint32(buf[24:]) {
+		return Anchor{}, false, fmt.Errorf("wal: bad anchor crc")
+	}
+	a.Epoch = binary.LittleEndian.Uint32(buf[4:])
+	a.CheckpointLSN = LSN(binary.LittleEndian.Uint64(buf[8:]))
+	a.Head = LSN(binary.LittleEndian.Uint64(buf[16:]))
+	return a, true, nil
+}
+
+// Head returns the log head: the smallest LSN that may still hold a
+// readable record.
+func (l *Log) Head() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.head < headerSize {
+		return headerSize
+	}
+	return l.head
+}
+
+// TruncateHead discards every record with LSN < before. The caller must
+// have durably recorded the new head (WriteAnchor) first, so a crash
+// never leaves an anchor pointing below a discarded region. The freed
+// prefix's memory is released (whole sectors only).
+func (l *Log) TruncateHead(before LSN) {
+	l.mu.Lock()
+	if before > l.durable {
+		before = l.durable
+	}
+	if before <= l.head {
+		l.mu.Unlock()
+		return
+	}
+	l.head = before
+	l.mu.Unlock()
+	// Free whole sectors below the head; the head's own sector may hold
+	// the head record's first bytes, keep it.
+	l.file.Discard(int64(before) / simdisk.SectorSize * simdisk.SectorSize)
+	l.InvalidateCache()
+}
+
+// Close marks the log closed. Buffered (unflushed) records are discarded,
+// exactly as a crash would; call Flush first for a clean shutdown.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// Disk returns the simulated disk backing this log.
+func (l *Log) Disk() *simdisk.Disk { return l.disk }

@@ -1,0 +1,152 @@
+// Package mspr is a log-based recovery infrastructure for middleware
+// servers, reproducing "Log-Based Recovery for Middleware Servers"
+// (Wang, Salzberg, Lomet — SIGMOD 2007).
+//
+// An MSP (middleware server process) serves client requests with a
+// thread pool, keeps private in-memory session state per client and
+// shared in-memory state across clients, and may call other MSPs while
+// serving a request. The recovery infrastructure is transparent to
+// service methods: it logs every source of nondeterminism to a single
+// physical log per MSP, checkpoints sessions, shared variables and the
+// MSP itself, and after a crash replays logged requests to restore all
+// business state — guaranteeing exactly-once execution semantics and
+// inter-MSP consistency (no orphan states), with parallel session
+// recovery from the shared log.
+//
+// MSPs are grouped into service domains. Message exchanges within a
+// domain use optimistic logging with per-session dependency vectors (few
+// log flushes); exchanges across domains — including all end-client
+// traffic — use pessimistic logging via a distributed log flush before
+// send. This "locally optimistic logging" is the paper's headline
+// technique: it keeps logging overhead low inside a domain while
+// preserving recovery independence between domains.
+//
+// # Quick start
+//
+//	sim := mspr.NewSim(0.02) // model latencies at 1/50 wall-clock speed
+//	dom := sim.NewDomain("shop")
+//	def := mspr.Definition{
+//		Methods: map[string]mspr.Handler{
+//			"hello": func(ctx *mspr.Ctx, arg []byte) ([]byte, error) {
+//				ctx.SetVar("last", arg)
+//				return append([]byte("hello, "), arg...), nil
+//			},
+//		},
+//	}
+//	srv, err := mspr.Start(sim.NewConfig("msp1", dom, def))
+//	if err != nil { ... }
+//	client := sim.NewClient("client-1")
+//	sess := client.Session("msp1")
+//	reply, err := sess.Call("hello", []byte("world"))
+//
+// Crash an MSP with srv.Crash() and restart it by calling Start again
+// with the same configuration: the new incarnation recovers every
+// session and shared variable from the log, and in-flight requests
+// execute exactly once.
+//
+// The implementation lives in internal packages; this package re-exports
+// the user-facing API. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package mspr
+
+import (
+	"time"
+
+	"mspr/internal/core"
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+)
+
+// Re-exported core types. See the internal/core documentation on each.
+type (
+	// Server is a middleware server process (MSP): a crash unit hosting
+	// sessions and shared variables, logging to one physical log.
+	Server = core.Server
+	// Config assembles an MSP; obtain defaults from Sim.NewConfig or
+	// core.NewConfig.
+	Config = core.Config
+	// Definition supplies an MSP's service methods and shared variables.
+	Definition = core.Definition
+	// Handler is a service method; it must be deterministic given its
+	// argument, the session variables, and the values obtained through
+	// Ctx (recovery re-executes it).
+	Handler = core.Handler
+	// SharedDef declares a shared variable and its initial value.
+	SharedDef = core.SharedDef
+	// Ctx is the execution context passed to service methods.
+	Ctx = core.Ctx
+	// Domain is a service domain: the boundary between optimistic and
+	// pessimistic logging.
+	Domain = core.Domain
+	// Client is an end client process outside every service domain.
+	Client = core.Client
+	// ClientSession is one end-client session with an MSP.
+	ClientSession = core.ClientSession
+	// DurableClient is an end client whose session progress survives its
+	// own crashes (exactly-once end to end, including the client).
+	DurableClient = core.DurableClient
+	// DurableSession is one durable end-client session.
+	DurableSession = core.DurableSession
+	// Stats exposes a server's recovery-infrastructure counters.
+	Stats = core.ServerStats
+	// AppError is an application-level error returned by a service
+	// method and transported in the reply.
+	AppError = rpc.AppError
+)
+
+// Start launches an MSP, running full crash recovery if its disk holds a
+// log from a previous incarnation.
+func Start(cfg Config) (*Server, error) { return core.Start(cfg) }
+
+// Sim bundles the simulated environment the servers run in: a network
+// and a time scale for every modelled latency (1.0 = the paper's
+// wall-clock milliseconds; 0.02 runs 50× faster with identical ratios).
+type Sim struct {
+	Net       *simnet.Network
+	TimeScale float64
+	// DomainLatency is the one-way latency of intra-domain control
+	// traffic and the default MSP↔MSP link (the paper measures a round
+	// trip of ≈3.6 ms).
+	DomainLatency time.Duration
+}
+
+// NewSim creates a simulation at the given time scale with the paper's
+// network latencies.
+func NewSim(timeScale float64) *Sim {
+	const oneWay = 1798 * time.Microsecond // half of the 3.596 ms round trip
+	return &Sim{
+		Net:           simnet.New(simnet.Config{OneWay: oneWay, TimeScale: timeScale}),
+		TimeScale:     timeScale,
+		DomainLatency: oneWay,
+	}
+}
+
+// NewDomain creates a service domain on this simulation.
+func (s *Sim) NewDomain(name string) *Domain {
+	return core.NewDomain(name, s.DomainLatency, s.TimeScale)
+}
+
+// NewDisk creates a dedicated simulated log disk with the paper's
+// 7200 RPM model.
+func (s *Sim) NewDisk() *simdisk.Disk {
+	return simdisk.NewDisk(simdisk.DefaultModel(s.TimeScale))
+}
+
+// NewConfig returns an experiment-ready MSP configuration with a fresh
+// dedicated disk: logging on, 1 MB session-checkpoint threshold.
+func (s *Sim) NewConfig(id string, domain *Domain, def Definition) Config {
+	return core.NewConfig(id, domain, s.NewDisk(), s.Net, def)
+}
+
+// NewClient creates an end client attached to the simulation's network.
+func (s *Sim) NewClient(id string) *Client {
+	return core.NewClient(id, s.Net, rpc.DefaultCallOptions(s.TimeScale))
+}
+
+// NewDurableClient creates (or reopens after a crash) an end client whose
+// session progress is persisted on disk, so exactly-once execution
+// extends across client crashes too.
+func (s *Sim) NewDurableClient(id string, disk *simdisk.Disk) (*DurableClient, error) {
+	return core.NewDurableClient(id, s.Net, disk, rpc.DefaultCallOptions(s.TimeScale))
+}
