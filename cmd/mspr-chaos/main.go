@@ -22,10 +22,13 @@ import (
 
 	"mspr/internal/chaos"
 	"mspr/internal/core"
+	"mspr/internal/failpoint"
 	"mspr/internal/rpc"
+	"mspr/internal/sdb"
 	"mspr/internal/simdisk"
 	"mspr/internal/simnet"
 	"mspr/internal/txmsp"
+	"mspr/internal/wal"
 )
 
 func u64(v uint64) []byte {
@@ -49,6 +52,8 @@ func main() {
 	loss := flag.Float64("loss", 0.03, "network loss rate")
 	dup := flag.Float64("dup", 0.03, "network duplication rate")
 	scale := flag.Float64("scale", 0.005, "time scale")
+	failpoints := flag.Bool("failpoints", false,
+		"arm the injected crash surface: torn log writes, anchor corruption, crashes inside recovery, mid-commit store crashes")
 	flag.Parse()
 
 	net := simnet.New(simnet.Config{
@@ -56,9 +61,15 @@ func main() {
 		LossRate: *loss, DupRate: *dup, Seed: *seed,
 	})
 
+	// Per-process failpoint registries (inert until -failpoints arms them).
+	fpFront := failpoint.New(*seed + 101)
+	fpBack := failpoint.New(*seed + 102)
+	fpLedger := failpoint.New(*seed + 103)
+
 	// The transactional resource manager (durable ledger).
 	rmCfg := txmsp.Config{ID: "ledger", Net: net,
 		Disk: simdisk.NewDisk(simdisk.DefaultModel(*scale)), TimeScale: *scale}
+	rmCfg.Disk.SetFailpoints(fpLedger)
 	rm, err := txmsp.Start(rmCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -100,14 +111,15 @@ func main() {
 			},
 		},
 	}
-	mkCfg := func(id string, def core.Definition) core.Config {
+	mkCfg := func(id string, def core.Definition, fp *failpoint.Registry) core.Config {
 		cfg := core.NewConfig(id, dom, simdisk.NewDisk(simdisk.DefaultModel(*scale)), net, def)
 		cfg.SessionCkptThreshold = 64 << 10
 		cfg.TimeScale = *scale
+		cfg.Failpoints = fp
 		return cfg
 	}
-	backCfg := mkCfg("back", backDef)
-	frontCfg := mkCfg("front", frontDef)
+	backCfg := mkCfg("back", backDef, fpBack)
+	frontCfg := mkCfg("front", frontDef, fpFront)
 	back, err := core.Start(backCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -117,29 +129,78 @@ func main() {
 		log.Fatal(err)
 	}
 
-	client := core.NewClient("storm-client", net, rpc.DefaultCallOptions(*scale))
+	// Clients in a failpoint storm use the capped exponential backoff so
+	// a recovering server sees a spread-out retry wave; the plain storm
+	// keeps the paper's fixed 100 ms backoff.
+	copts := rpc.DefaultCallOptions(*scale)
+	if *failpoints {
+		copts = rpc.BackoffCallOptions(*scale, *seed)
+	}
+	client := core.NewClient("storm-client", net, copts)
 	defer client.Close()
 
 	var procMu sync.Mutex
+	// On a failed Start (an armed point crashed recovery itself) the old
+	// pointer is kept: its Crash is idempotent, so the fault's retry can
+	// crash-restart again.
+	restartFront := func() error {
+		front.Crash()
+		s, err := core.Start(frontCfg)
+		if err == nil {
+			front = s
+		}
+		return err
+	}
+	restartBack := func() error {
+		back.Crash()
+		s, err := core.Start(backCfg)
+		if err == nil {
+			back = s
+		}
+		return err
+	}
+	restartLedger := func() error {
+		rm.Crash()
+		r, err := txmsp.Start(rmCfg)
+		if err == nil {
+			rm = r
+		}
+		return err
+	}
 	faults := []chaos.Fault{
-		chaos.RestartFault("crash-front", &procMu, func() error {
-			front.Crash()
-			var err error
-			front, err = core.Start(frontCfg)
-			return err
-		}),
-		chaos.RestartFault("crash-back", &procMu, func() error {
-			back.Crash()
-			var err error
-			back, err = core.Start(backCfg)
-			return err
-		}),
-		chaos.RestartFault("crash-ledger", &procMu, func() error {
-			rm.Crash()
-			var err error
-			rm, err = txmsp.Start(rmCfg)
-			return err
-		}),
+		chaos.RestartFault("crash-front", &procMu, restartFront),
+		chaos.RestartFault("crash-back", &procMu, restartBack),
+		chaos.RestartFault("crash-ledger", &procMu, restartLedger),
+	}
+	if *failpoints {
+		faults = append(faults,
+			// Torn log writes and anchor corruption land inside the next
+			// incarnation's recovery checkpoint; the core.FPRecovery*
+			// points crash the recovery machinery itself.
+			chaos.CrashPointFault("torn-front-log", &procMu, fpFront,
+				simdisk.FPWriteTorn+":front.log", restartFront),
+			chaos.CrashPointFault("front-crash-mid-scan", &procMu, fpFront,
+				core.FPRecoveryMidScan, restartFront),
+			chaos.CrashPointFault("back-torn-anchor", &procMu, fpBack,
+				wal.FPAnchorCrash, restartBack),
+			chaos.CrashPointFault("back-crash-mid-replay", &procMu, fpBack,
+				core.FPReplayMidSession, restartBack),
+			// The ledger fault wedges a commit mid-flight (journal record
+			// durable, acknowledgement lost) and then restarts the store;
+			// testable transactions must absorb the client's resend.
+			chaos.Fault{Name: "wedge-ledger", Fire: func() error {
+				before := fpLedger.Hits(sdb.FPCommitCrash)
+				fpLedger.Enable(sdb.FPCommitCrash, failpoint.Times(1))
+				deadline := time.Now().Add(2 * time.Second)
+				for fpLedger.Hits(sdb.FPCommitCrash) == before && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				procMu.Lock()
+				defer procMu.Unlock()
+				fpLedger.Disable(sdb.FPCommitCrash)
+				return restartLedger()
+			}},
+		)
 	}
 
 	w := chaos.Workload{

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mspr/internal/failpoint"
 )
 
 // Workload describes the load to apply.
@@ -90,6 +92,7 @@ func Run(w Workload, faults []Fault, o Options) Report {
 		errs    []error
 		wg      sync.WaitGroup
 		stop    = make(chan struct{})
+		trigger = make(chan struct{}, 256)
 		faultWG sync.WaitGroup
 	)
 	fail := func(err error) {
@@ -98,39 +101,48 @@ func Run(w Workload, faults []Fault, o Options) Report {
 		mu.Unlock()
 	}
 
-	// The fault injector: watches the op counter and fires a random fault
-	// each time it crosses a FaultEvery boundary.
-	if o.FaultEvery > 0 && len(faults) > 0 {
+	// The seeded fault scheduler: each FaultEvery-th completed operation
+	// enqueues a trigger; the scheduler fires a seeded-random fault per
+	// trigger and drains pending triggers before Run returns, so a storm
+	// fires a deterministic min(MaxFaults, ops/FaultEvery) faults no
+	// matter how fast the workload outruns it.
+	injecting := o.FaultEvery > 0 && len(faults) > 0
+	if injecting {
 		faultWG.Add(1)
 		go func() {
 			defer faultWG.Done()
 			rng := rand.New(rand.NewSource(o.Seed + 1))
-			next := int64(o.FaultEvery)
+			fired := 0
+			fire := func() bool {
+				f := faults[rng.Intn(len(faults))]
+				if err := f.Fire(); err != nil {
+					fail(fmt.Errorf("chaos: fault %s: %w", f.Name, err))
+					return false
+				}
+				mu.Lock()
+				rep.FaultsFired[f.Name]++
+				mu.Unlock()
+				fired++
+				return o.MaxFaults <= 0 || fired < o.MaxFaults
+			}
 			for {
 				select {
+				case <-trigger:
+					if !fire() {
+						return
+					}
 				case <-stop:
-					return
-				default:
-				}
-				if ops.Load() >= next {
-					next += int64(o.FaultEvery)
-					f := faults[rng.Intn(len(faults))]
-					if err := f.Fire(); err != nil {
-						fail(fmt.Errorf("chaos: fault %s: %w", f.Name, err))
-						return
-					}
-					mu.Lock()
-					rep.FaultsFired[f.Name]++
-					total := 0
-					for _, n := range rep.FaultsFired {
-						total += n
-					}
-					mu.Unlock()
-					if o.MaxFaults > 0 && total >= o.MaxFaults {
-						return
+					for { // workload done: drain pending triggers
+						select {
+						case <-trigger:
+							if !fire() {
+								return
+							}
+						default:
+							return
+						}
 					}
 				}
-				time.Sleep(200 * time.Microsecond)
 			}
 		}()
 	}
@@ -148,7 +160,12 @@ func Run(w Workload, faults []Fault, o Options) Report {
 					fail(fmt.Errorf("chaos: actor %d op %d: %w", i, n, err))
 					return
 				}
-				ops.Add(1)
+				if total := ops.Add(1); injecting && total%int64(o.FaultEvery) == 0 {
+					select {
+					case trigger <- struct{}{}:
+					default: // scheduler far behind: drop, don't block load
+					}
+				}
 			}
 		}(i)
 	}
@@ -177,6 +194,54 @@ func RestartFault(name string, mu *sync.Mutex, crashAndRestart func() error) Fau
 			mu.Lock()
 			defer mu.Unlock()
 			return crashAndRestart()
+		},
+	}
+}
+
+// CrashPointFault arms a one-shot failpoint in reg and crash-restarts
+// the process, so the point fires inside the next incarnation — torn
+// writes and flush crashes land in recovery's own checkpoint, and the
+// core.FPRecovery*/FPReplay* points crash recovery itself. Fire keeps
+// restarting while Start dies at the injected point: the incarnation
+// that finally comes up has recovered from a crash *during* recovery.
+//
+// Points planted in asynchronous recovery work (background session
+// replay) fire only after Start has returned, killing the apparently
+// healthy incarnation; Fire therefore waits briefly for the armed point
+// to be consumed and restarts once more when it is. A point no schedule
+// reaches is disarmed before returning so it cannot leak into a later,
+// unrelated fault.
+func CrashPointFault(name string, mu *sync.Mutex, reg *failpoint.Registry, point string, crashAndRestart func() error) Fault {
+	return Fault{
+		Name: name,
+		Fire: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			reg.Enable(point, failpoint.Times(1))
+			for tries := 0; ; tries++ {
+				before := reg.Hits(point)
+				err := crashAndRestart()
+				if err != nil {
+					if failpoint.IsInjected(err) && tries < 16 {
+						continue // nested crash during recovery: go again
+					}
+					reg.Disable(point)
+					return err
+				}
+				fired := reg.Hits(point) > before
+				if !fired && reg.Armed(point) {
+					deadline := time.Now().Add(time.Second)
+					for reg.Armed(point) && time.Now().Before(deadline) {
+						time.Sleep(time.Millisecond)
+					}
+					fired = reg.Hits(point) > before
+				}
+				if fired && tries < 16 {
+					continue // the fresh incarnation was killed: once more
+				}
+				reg.Disable(point)
+				return nil
+			}
 		},
 	}
 }

@@ -20,6 +20,7 @@ package core
 import (
 	"time"
 
+	"mspr/internal/failpoint"
 	"mspr/internal/simdisk"
 	"mspr/internal/simnet"
 )
@@ -97,6 +98,12 @@ type Config struct {
 	// detect duplicates against durable state (see internal/txmsp). Such
 	// services must make their handlers idempotent themselves.
 	StatelessSessions bool
+	// Failpoints, when non-nil, is the fault-injection registry for this
+	// MSP: Start attaches it to the Disk (so the WAL and journalled
+	// stores share it) and the server evaluates its named crash points
+	// (core.recovery.*, core.ckpt.*, core.replay.*) against it. Nil — the
+	// default — disables injection entirely with no behavioural change.
+	Failpoints *failpoint.Registry
 }
 
 // NewConfig returns a Config with the defaults used by the experiments:

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mspr/internal/logrec"
+	"mspr/internal/metrics"
 	"mspr/internal/rpc"
 	"mspr/internal/simnet"
 	"mspr/internal/simtime"
@@ -71,6 +72,19 @@ func (c *Ctx) ServerID() string { return c.srv.cfg.ID }
 // stable across replay — methods use it as an idempotency key when
 // talking to external transactional systems (testable transactions).
 func (c *Ctx) RequestSeq() uint64 { return c.reqSeq }
+
+// AbortNoReply abandons the current request as if the server crashed at
+// this instant, without killing the whole MSP's request processing: no
+// reply is sent (the client resends) and no further handler code runs.
+// Service methods that detect a partial lower-layer failure — e.g. a
+// journalled store that crashed between its journal write and commit
+// sync — call this instead of returning an application error, because
+// an application error would be delivered to the client as a final
+// answer and break exactly-once semantics. The resent request must be
+// deduplicated below this layer (testable transactions).
+func (c *Ctx) AbortNoReply(err error) {
+	panic(crashAbort{fmt.Errorf("core: %s/%s request aborted without reply: %w", c.srv.cfg.ID, c.sess.id, err)})
+}
 
 // intercept is the recovery infrastructure's interception point (§4.1):
 // executed whenever the method sends or receives a message or accesses a
@@ -269,11 +283,13 @@ func (c *Ctx) switchToLive(orphanLSN wal.LSN, haveOrphan bool) {
 	c.rp.switched = true
 	c.mode = modeNormal
 	if haveOrphan {
-		c.sess.truncatePositions(orphanLSN)
+		skipped := c.sess.truncatePositions(orphanLSN)
 		rec := logrec.EOS{Session: c.sess.id, Orphan: orphanLSN}
 		// The EOS record needs no immediate flush and its position is not
 		// added to the stream — it must be invisible to future replays.
 		_, _, _ = c.srv.appendRec(logrec.TEOS, rec.Encode())
+		metrics.Recovery.EOSWritten.Inc()
+		metrics.Recovery.OrphanRecordsSkipped.Add(int64(skipped))
 	}
 }
 

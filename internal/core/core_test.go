@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mspr/internal/failpoint"
 	"mspr/internal/rpc"
 	"mspr/internal/simdisk"
 	"mspr/internal/simnet"
@@ -20,6 +21,7 @@ type testEnv struct {
 	domain *Domain
 	disks  map[string]*simdisk.Disk
 	defs   map[string]Definition
+	muts   map[string][]func(*Config)
 	srvs   map[string]*Server
 	client *Client
 }
@@ -84,24 +86,33 @@ func newTestEnv(t *testing.T) *testEnv {
 		domain: NewDomain("dom", 0, 0),
 		disks:  make(map[string]*simdisk.Disk),
 		defs:   make(map[string]Definition),
+		muts:   make(map[string][]func(*Config)),
 		srvs:   make(map[string]*Server),
 	}
 }
 
-// start launches (or restarts after Crash) the named MSP.
-func (e *testEnv) start(id string, def Definition, mut ...func(*Config)) *Server {
-	e.t.Helper()
-	disk, ok := e.disks[id]
-	if !ok {
-		disk = simdisk.NewDisk(simdisk.DefaultModel(0))
-		e.disks[id] = disk
-	}
-	e.defs[id] = def
-	cfg := NewConfig(id, e.domain, disk, e.net, def)
-	for _, m := range mut {
+// cfgFor rebuilds the named MSP's config, reapplying its remembered
+// config mutators (so a restart keeps e.g. its failpoint registry).
+func (e *testEnv) cfgFor(id string) Config {
+	cfg := NewConfig(id, e.domain, e.disks[id], e.net, e.defs[id])
+	for _, m := range e.muts[id] {
 		m(&cfg)
 	}
-	s, err := Start(cfg)
+	return cfg
+}
+
+// start launches (or restarts after Crash) the named MSP. Mutators are
+// remembered per MSP; a start without mutators reuses the previous ones.
+func (e *testEnv) start(id string, def Definition, mut ...func(*Config)) *Server {
+	e.t.Helper()
+	if _, ok := e.disks[id]; !ok {
+		e.disks[id] = simdisk.NewDisk(simdisk.DefaultModel(0))
+	}
+	e.defs[id] = def
+	if len(mut) > 0 {
+		e.muts[id] = mut
+	}
+	s, err := Start(e.cfgFor(id))
 	if err != nil {
 		e.t.Fatalf("starting %s: %v", id, err)
 	}
@@ -110,10 +121,22 @@ func (e *testEnv) start(id string, def Definition, mut ...func(*Config)) *Server
 }
 
 // restart crashes and restarts the named MSP with its previous definition.
+// If an armed failpoint crashes the incarnation during its own recovery,
+// restart keeps retrying: recovery must be re-enterable after a nested
+// crash.
 func (e *testEnv) restart(id string) *Server {
 	e.t.Helper()
 	e.srvs[id].Crash()
-	return e.start(id, e.defs[id])
+	for tries := 0; ; tries++ {
+		s, err := Start(e.cfgFor(id))
+		if err == nil {
+			e.srvs[id] = s
+			return s
+		}
+		if !failpoint.IsInjected(err) || tries >= 8 {
+			e.t.Fatalf("restarting %s: %v", id, err)
+		}
+	}
 }
 
 func (e *testEnv) endClient() *Client {

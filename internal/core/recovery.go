@@ -5,6 +5,7 @@ import (
 
 	"mspr/internal/dv"
 	"mspr/internal/logrec"
+	"mspr/internal/metrics"
 	"mspr/internal/rpc"
 	"mspr/internal/wal"
 )
@@ -62,11 +63,21 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 		}
 	}
 
+	if err := s.evalCrashPoint(FPRecoveryBeforeScan); err != nil {
+		return nil, err
+	}
 	last, err := s.analysisScan(min)
 	if err != nil {
 		return nil, err
 	}
+	// A torn log tail (a flush interrupted by the crash) holds only
+	// records that were never acknowledged durable; truncate it so the
+	// records recovery appends below are not stranded behind garbage.
+	s.log.RepairTail()
 	s.log.InvalidateCache()
+	if err := s.evalCrashPoint(FPRecoveryAfterScan); err != nil {
+		return nil, err
+	}
 
 	// The largest persistent LSN is the recovered state number; the epoch
 	// advances to a new failure-free period. An epoch's recovered state
@@ -100,9 +111,25 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 		return nil, err
 	}
 
+	if err := s.evalCrashPoint(FPRecoveryBeforeBroadcast); err != nil {
+		return nil, err
+	}
 	// Broadcast within the service domain; peers return their knowledge
 	// so we also learn about crashes broadcast while we were down.
-	learned := s.cfg.Domain.broadcast(s.cfg.ID, info)
+	//
+	// Every epoch of OURS recorded in knowledge is re-announced, not just
+	// the one that just crashed: an earlier incarnation may have made its
+	// recovered state number durable and then died before its broadcast
+	// went out. Peers holding dependencies on that epoch would otherwise
+	// wait forever to learn whether they are orphans. Re-announcing is
+	// idempotent — a peer keeps the first number it heard for an epoch.
+	var learned []dv.RecoveryInfo
+	for _, own := range s.know.Snapshot() {
+		if own.Process != s.selfID() {
+			continue
+		}
+		learned = append(learned, s.cfg.Domain.broadcast(s.cfg.ID, own)...)
+	}
 	for _, l := range learned {
 		if s.know.Record(l) {
 			lr := logrec.RecoveryInfo{Process: string(l.Process), CrashedEpoch: l.CrashedEpoch,
@@ -111,6 +138,10 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 				return nil, err
 			}
 		}
+	}
+
+	if err := s.evalCrashPoint(FPRecoveryAfterBroadcast); err != nil {
+		return nil, err
 	}
 
 	if err := s.writeMSPCheckpoint(); err != nil {
@@ -122,6 +153,7 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 		sess.beginRecoveryUnconditional()
 		sessions = append(sessions, sess)
 	}
+	metrics.Recovery.RecoveriesCompleted.Inc()
 	return sessions, nil
 }
 
@@ -137,6 +169,9 @@ func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
 		return sess
 	}
 	return s.log.Scan(from, func(lsn wal.LSN, typ byte, payload []byte) error {
+		if err := s.evalCrashPoint(FPRecoveryMidScan); err != nil {
+			return err
+		}
 		n := len(payload) + 9
 		switch logrec.Type(typ) {
 		case logrec.TSessionStart:
@@ -234,6 +269,9 @@ func (s *Server) runSessionRecovery(sess *Session) {
 	s.stats.OrphanRecoveries.Add(1)
 	for {
 		restart, err := s.replaySessionOnce(sess)
+		if err == nil && !restart {
+			metrics.Recovery.SessionsReplayed.Inc()
+		}
 		if err != nil || !restart {
 			break
 		}
@@ -287,6 +325,9 @@ func (s *Server) replaySessionOnce(sess *Session) (restart bool, err error) {
 	ctx := &Ctx{srv: s, sess: sess, mode: modeReplay, rp: rp}
 
 	for rp.idx < len(rp.positions) && !rp.switched {
+		if cerr := s.evalCrashPoint(FPReplayMidSession); cerr != nil {
+			panic(crashAbort{cerr})
+		}
 		// Retroactive orphan check: a recovery message that arrived since
 		// we merged a DV may have orphaned the session mid-replay.
 		if _, orphan := s.know.OrphanIn(sess.vecLocked()); orphan {

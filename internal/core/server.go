@@ -8,10 +8,45 @@ import (
 	"time"
 
 	"mspr/internal/dv"
+	"mspr/internal/failpoint"
 	"mspr/internal/logrec"
 	"mspr/internal/rpc"
 	"mspr/internal/simnet"
 	"mspr/internal/wal"
+)
+
+// Named crash points of the recovery machinery (see Config.Failpoints).
+// Each halts the MSP exactly as a process death at that instant would:
+// volatile state is abandoned, the endpoint goes down, and the log's
+// buffered records are lost. Recovery must be re-enterable from any of
+// them.
+const (
+	// FPRecoveryBeforeScan crashes after the anchor and MSP checkpoint
+	// were read but before the analysis scan (Fig. 12 step 2) starts.
+	FPRecoveryBeforeScan = "core.recovery.before-scan"
+	// FPRecoveryMidScan crashes inside the analysis scan, between two
+	// scanned records (use failpoint.SkipFirst to pick which).
+	FPRecoveryMidScan = "core.recovery.mid-scan"
+	// FPRecoveryAfterScan crashes after the scan, before the recovered
+	// state number is made durable.
+	FPRecoveryAfterScan = "core.recovery.after-scan"
+	// FPRecoveryBeforeBroadcast crashes after the recovered state number
+	// is durable but before the recovery broadcast (§4.3): peers learn
+	// the crash only from the next incarnation, which must announce the
+	// same number.
+	FPRecoveryBeforeBroadcast = "core.recovery.before-broadcast"
+	// FPRecoveryAfterBroadcast crashes after peers heard the broadcast
+	// but before the post-recovery checkpoint.
+	FPRecoveryAfterBroadcast = "core.recovery.after-broadcast"
+	// FPCkptBeforeAnchor crashes a fuzzy MSP checkpoint (§3.4) after the
+	// checkpoint record is durable but before the anchor points at it.
+	FPCkptBeforeAnchor = "core.ckpt.before-anchor"
+	// FPCkptBeforeTruncate crashes after the anchor update but before
+	// the old log prefix is discarded.
+	FPCkptBeforeTruncate = "core.ckpt.before-truncate"
+	// FPReplayMidSession crashes session replay (§4.1) between two
+	// replayed records.
+	FPReplayMidSession = "core.replay.mid-session"
 )
 
 // Sentinel errors used across the recovery protocol.
@@ -115,6 +150,9 @@ func Start(cfg Config) (*Server, error) {
 		reqCh:    make(chan rpc.Request, 4096),
 		stop:     make(chan struct{}),
 	}
+	if cfg.Failpoints != nil && cfg.Disk != nil {
+		cfg.Disk.SetFailpoints(cfg.Failpoints)
+	}
 	s.epoch.Store(1) // epoch 1 is the first failure-free period
 	s.pending.m = make(map[string]chan rpc.Reply)
 	for _, def := range cfg.Def.Shared {
@@ -141,6 +179,9 @@ func Start(cfg Config) (*Server, error) {
 		if ok {
 			recoveredSessions, err = s.recoverFromCrash(anchor)
 			if err != nil {
+				// Leave the carcass exactly as a crash would: endpoint
+				// down, log closed. A later Start recovers from disk.
+				s.halt()
 				return nil, fmt.Errorf("core: %s: crash recovery: %w", cfg.ID, err)
 			}
 		} else {
@@ -236,11 +277,12 @@ func (s *Server) getState() serverState {
 	return s.state
 }
 
-// Crash kills the MSP: the network endpoint goes down, workers stop, and
-// every volatile structure — including the log buffer and all session,
-// shared-variable and dependency state — is abandoned. Only data flushed
-// to the disk survives into the next Start.
-func (s *Server) Crash() {
+// halt marks the MSP dead at this instant: the network endpoint goes
+// down, the stop channel closes, and the log is closed (discarding the
+// volatile buffer, like a real crash). It does not wait for workers —
+// an injected crash point halts from inside a worker or the recovery
+// path, where waiting on itself would deadlock. Idempotent.
+func (s *Server) halt() {
 	s.mu.Lock()
 	if s.state == stateCrashed {
 		s.mu.Unlock()
@@ -251,8 +293,41 @@ func (s *Server) Crash() {
 	s.ep.SetDown(true)
 	close(s.stop)
 	if s.log != nil {
-		s.log.Close() // discards the volatile buffer, like a real crash
+		s.log.Close()
 	}
+}
+
+// fp returns the MSP's fault-injection registry (nil when injection is
+// off — safe to Eval either way).
+func (s *Server) fp() *failpoint.Registry {
+	if s.cfg.Failpoints != nil {
+		return s.cfg.Failpoints
+	}
+	if s.cfg.Disk != nil {
+		return s.cfg.Disk.Failpoints()
+	}
+	return nil
+}
+
+// evalCrashPoint fires a named crash failpoint: when armed, the MSP
+// halts as if the process died at that instant and the injected error
+// is returned for the caller to propagate.
+func (s *Server) evalCrashPoint(name string) error {
+	if _, ok := s.fp().Eval(name); !ok {
+		return nil
+	}
+	s.halt()
+	return fmt.Errorf("core: %s: crash point %s: %w", s.cfg.ID, name, failpoint.ErrInjected)
+}
+
+// Crash kills the MSP: the network endpoint goes down, workers stop, and
+// every volatile structure — including the log buffer and all session,
+// shared-variable and dependency state — is abandoned. Only data flushed
+// to the disk survives into the next Start. Crash also collects an MSP
+// already halted by an injected crash point, so harnesses can always
+// tear down with Crash before restarting.
+func (s *Server) Crash() {
+	s.halt()
 	s.wg.Wait()
 }
 
@@ -772,7 +847,16 @@ func (s *Server) writeMSPCheckpoint() error {
 			lower(sh.FirstWrite)
 		}
 	}
+	if err := s.evalCrashPoint(FPCkptBeforeAnchor); err != nil {
+		return err
+	}
 	if err := s.log.WriteAnchor(wal.Anchor{Epoch: s.epoch.Load(), CheckpointLSN: lsn, Head: head}); err != nil {
+		if failpoint.IsInjected(err) {
+			s.halt() // a torn anchor write means the process died mid-update
+		}
+		return err
+	}
+	if err := s.evalCrashPoint(FPCkptBeforeTruncate); err != nil {
 		return err
 	}
 	// Only after the anchor is durable may the old records be discarded.

@@ -381,11 +381,14 @@ func (se *Session) replayReceive(lsn wal.LSN, attached dv.Vector) {
 }
 
 // truncatePositions removes positions ≥ lsn from the stream (orphan
-// recovery end).
-func (se *Session) truncatePositions(lsn wal.LSN) {
+// recovery end) and returns how many records were skipped.
+func (se *Session) truncatePositions(lsn wal.LSN) int {
 	se.mu.Lock()
+	before := len(se.pos.all)
 	se.pos.truncateFrom(lsn)
+	removed := before - len(se.pos.all)
 	se.mu.Unlock()
+	return removed
 }
 
 // lastCkpt returns the LSN of the session's most recent checkpoint.

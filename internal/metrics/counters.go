@@ -1,0 +1,53 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event counter, safe for
+// concurrent use. The zero value is ready.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// RecoveryCounters is the observability surface of the recovery and
+// fault-tolerance machinery: how often recovery ran, what it replayed
+// and skipped, and which storage faults the log layer absorbed. The
+// counters are process-wide totals; tests snapshot before/after deltas.
+type RecoveryCounters struct {
+	// RecoveriesCompleted counts finished MSP crash recoveries (Fig. 12
+	// runs that reached the post-recovery checkpoint).
+	RecoveriesCompleted Counter
+	// SessionsReplayed counts sessions whose replay (§4.1/§4.3) ran to
+	// completion.
+	SessionsReplayed Counter
+	// OrphanRecordsSkipped counts log records made invisible by orphan
+	// recovery — records between an orphan record and its EOS record.
+	OrphanRecordsSkipped Counter
+	// EOSWritten counts end-of-stable records appended when an orphan
+	// recovery skipped the orphaned suffix of a session's log (§4.1).
+	EOSWritten Counter
+	// AnchorFallbacks counts log-anchor reads that found the most recent
+	// anchor slot torn or corrupt and fell back to the previous slot.
+	AnchorFallbacks Counter
+	// CorruptTailTruncations counts recovery scans that found a torn or
+	// corrupt log tail with no valid records after it and truncated it —
+	// the benign half of satellite corruption handling: the lost records
+	// were never acknowledged durable.
+	CorruptTailTruncations Counter
+	// MidLogCorruptions counts recovery scans that found corruption
+	// *followed by valid records* — acknowledged data damaged in place.
+	// This is surfaced as a hard error, never silently skipped.
+	MidLogCorruptions Counter
+	// TransientWriteRetries counts log flushes that retried after a
+	// transient disk write error and succeeded.
+	TransientWriteRetries Counter
+}
+
+// Recovery holds the process-wide recovery counters.
+var Recovery RecoveryCounters

@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+	c.Add(5)
+	if c.Load() != 8005 {
+		t.Fatalf("counter = %d after Add(5)", c.Load())
+	}
+}
+
+func TestRecoveryCountersZeroValueReady(t *testing.T) {
+	before := Recovery.EOSWritten.Load()
+	Recovery.EOSWritten.Inc()
+	if Recovery.EOSWritten.Load() != before+1 {
+		t.Fatal("global recovery counter did not advance")
+	}
+}

@@ -1,0 +1,82 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+// The default options reproduce the paper's fixed 100 ms backoff: no
+// growth, no jitter, regardless of the busy streak.
+func TestDefaultBusyBackoffIsFixed(t *testing.T) {
+	o := DefaultCallOptions(1.0)
+	for streak := 0; streak < 6; streak++ {
+		if d := o.busyDelay(streak, o.jitterSource("s", 1)); d != 100*time.Millisecond {
+			t.Fatalf("streak %d: delay = %v, want fixed 100ms", streak, d)
+		}
+	}
+}
+
+func TestBusyBackoffDoublesToCap(t *testing.T) {
+	o := DefaultCallOptions(1.0)
+	o.BusyBackoffMax = 800 * time.Millisecond
+	want := []time.Duration{100, 200, 400, 800, 800, 800}
+	for streak, w := range want {
+		if d := o.busyDelay(streak, nil); d != w*time.Millisecond {
+			t.Fatalf("streak %d: delay = %v, want %v", streak, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBusyJitterBoundedAndSeeded(t *testing.T) {
+	o := BackoffCallOptions(1.0, 42)
+	base := 100 * time.Millisecond
+	lo := time.Duration(float64(base) * (1 - o.BusyJitter))
+	hi := time.Duration(float64(base) * (1 + o.BusyJitter))
+	r1 := o.jitterSource("sess", 7)
+	var first []time.Duration
+	for i := 0; i < 16; i++ {
+		d := o.busyDelay(0, r1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		first = append(first, d)
+	}
+	// Same seed and call identity: identical sequence.
+	r2 := o.jitterSource("sess", 7)
+	for i, w := range first {
+		if d := o.busyDelay(0, r2); d != w {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, d, w)
+		}
+	}
+	// A different session draws a different sequence.
+	r3 := o.jitterSource("other", 7)
+	same := true
+	for _, w := range first {
+		if o.busyDelay(0, r3) != w {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different sessions produced identical jitter sequences")
+	}
+}
+
+func TestBusyBackoffThroughCall(t *testing.T) {
+	o := DefaultCallOptions(0) // TimeScale 0: scaled() floors at 1ms
+	o.BusyBackoffMax = 800 * time.Millisecond
+	o.MaxAttempts = 4
+	replies := make(chan Reply, 8)
+	busy := 0
+	send := func(req Request) {
+		busy++
+		replies <- Reply{Session: req.Session, Seq: req.Seq, Status: StatusBusy}
+	}
+	req := Request{Session: "s", Seq: 1}
+	if _, err := Call(send, replies, req, o); err == nil {
+		t.Fatal("expected exhaustion error from all-busy server")
+	}
+	if busy != 4 {
+		t.Fatalf("sent %d times, want MaxAttempts=4", busy)
+	}
+}

@@ -14,6 +14,8 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -95,6 +97,22 @@ type CallOptions struct {
 	// BusyBackoff is the model time to sleep after a StatusBusy reply
 	// before resending (100 ms in the paper).
 	BusyBackoff time.Duration
+	// BusyBackoffMax, when larger than BusyBackoff, caps an exponential
+	// backoff: each consecutive Busy reply doubles the sleep, from
+	// BusyBackoff up to this cap; any other outcome resets the streak.
+	// Zero keeps the paper's fixed backoff (the experiment default).
+	BusyBackoffMax time.Duration
+	// BusyJitter is the fraction of random jitter applied to each busy
+	// sleep: the model duration is multiplied by a factor drawn uniformly
+	// from [1-BusyJitter, 1+BusyJitter]. It de-synchronizes clients that
+	// went Busy together (a recovering server sees a spread-out retry
+	// wave, not a thundering herd). Zero disables jitter.
+	BusyJitter float64
+	// Seed perturbs the jitter's deterministic random source. The source
+	// is always additionally derived from the call's session and sequence
+	// number, so concurrent callers jitter differently even with the same
+	// Seed, and the same call under the same Seed replays identically.
+	Seed int64
 	// TimeScale converts model durations to wall-clock sleeps.
 	TimeScale float64
 	// MaxAttempts bounds the total sends (0 = unlimited). Exactly-once
@@ -103,13 +121,60 @@ type CallOptions struct {
 	MaxAttempts int
 }
 
-// DefaultCallOptions returns the options used throughout the experiments.
+// DefaultCallOptions returns the options used throughout the experiments:
+// the paper's fixed 100 ms busy backoff, no growth, no jitter.
 func DefaultCallOptions(timeScale float64) CallOptions {
 	return CallOptions{
 		ResendAfter: 500 * time.Millisecond,
 		BusyBackoff: 100 * time.Millisecond,
 		TimeScale:   timeScale,
 	}
+}
+
+// BackoffCallOptions returns DefaultCallOptions plus capped exponential
+// busy backoff (100 ms doubling to 800 ms) with ±20% seeded jitter —
+// the tuning chaos clients use so that storms of Busy replies from a
+// recovering server do not resend in lockstep.
+func BackoffCallOptions(timeScale float64, seed int64) CallOptions {
+	o := DefaultCallOptions(timeScale)
+	o.BusyBackoffMax = 800 * time.Millisecond
+	o.BusyJitter = 0.2
+	o.Seed = seed
+	return o
+}
+
+// busyDelay returns the scaled sleep after the streak-th consecutive
+// Busy reply (streak 0 = first).
+func (o CallOptions) busyDelay(streak int, rng *rand.Rand) time.Duration {
+	d := o.BusyBackoff
+	if o.BusyBackoffMax > d {
+		for i := 0; i < streak && d < o.BusyBackoffMax; i++ {
+			d *= 2
+		}
+		if d > o.BusyBackoffMax {
+			d = o.BusyBackoffMax
+		}
+	}
+	if o.BusyJitter > 0 && rng != nil {
+		d = time.Duration(float64(d) * (1 + o.BusyJitter*(2*rng.Float64()-1)))
+	}
+	return o.scaled(d)
+}
+
+// jitterSource builds the deterministic random source for one call's
+// jitter, mixing the configured Seed with the call's identity.
+func (o CallOptions) jitterSource(session string, seq uint64) *rand.Rand {
+	if o.BusyJitter <= 0 {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(session))
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(seq >> (8 * i))
+	}
+	h.Write(b[:])
+	return rand.New(rand.NewSource(o.Seed ^ int64(h.Sum64())))
 }
 
 func (o CallOptions) scaled(d time.Duration) time.Duration {
@@ -128,6 +193,8 @@ func (o CallOptions) scaled(d time.Duration) time.Duration {
 // or an error for StatusAppError/StatusRejected.
 func Call(send func(Request), replies <-chan Reply, req Request, opts CallOptions) ([]byte, error) {
 	attempts := 0
+	busyStreak := 0
+	rng := opts.jitterSource(req.Session, req.Seq)
 	for {
 		attempts++
 		if opts.MaxAttempts > 0 && attempts > opts.MaxAttempts {
@@ -153,7 +220,8 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 				case StatusAppError:
 					return nil, &AppError{Msg: string(rep.Payload)}
 				case StatusBusy:
-					sleep(opts.scaled(opts.BusyBackoff))
+					sleep(opts.busyDelay(busyStreak, rng))
+					busyStreak++
 					break waiting // resend same request
 				case StatusRejected:
 					return nil, ErrRejected
@@ -161,7 +229,8 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 					return nil, fmt.Errorf("rpc: unknown reply status %v", rep.Status)
 				}
 			case <-deadline.C:
-				break waiting // timed out: resend same request
+				busyStreak = 0 // no Busy reply this round: streak over
+				break waiting  // timed out: resend the same request
 			}
 		}
 	}

@@ -1,0 +1,91 @@
+package sdb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mspr/internal/failpoint"
+	"mspr/internal/simdisk"
+)
+
+// A commit that crashes after its journal write is durable: the next
+// incarnation finds the transaction committed even though this one
+// never heard the acknowledgement.
+func TestCommitCrashIsDurableButUnacknowledged(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	fp := failpoint.New(21)
+	disk.SetFailpoints(fp)
+	s, err := Open(disk, "db", Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	fp.Enable(FPCommitCrash)
+	tx := s.Begin(true)
+	tx.Put("k", []byte("v1"))
+	if err := tx.Commit(); !failpoint.IsInjected(err) {
+		t.Fatalf("commit err = %v, want injected crash", err)
+	}
+	if !s.Wedged() {
+		t.Fatal("store not wedged after mid-commit crash")
+	}
+
+	// The dead incarnation refuses everything.
+	tx2 := s.Begin(true)
+	if _, _, err := tx2.Get("k"); !errors.Is(err, ErrWedged) {
+		t.Fatalf("get on wedged store: %v, want ErrWedged", err)
+	}
+	tx2.Put("k", []byte("v2"))
+	if err := tx2.Commit(); !errors.Is(err, ErrWedged) {
+		t.Fatalf("commit on wedged store: %v, want ErrWedged", err)
+	}
+
+	// The next incarnation replays the journal: the crashed commit is in.
+	s2, err := Open(disk, "db", Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	v, ok := s2.Get("k")
+	if !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("after reopen k = %q ok=%v, want the crashed commit's value", v, ok)
+	}
+}
+
+// A torn journal write (simdisk-level fault) loses the uncommitted
+// transaction cleanly: the valid journal prefix still replays.
+func TestTornJournalWriteLosesOnlyThatCommit(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	fp := failpoint.New(22)
+	disk.SetFailpoints(fp)
+	s, err := Open(disk, "db", Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	tx := s.Begin(true)
+	tx.Put("a", []byte("committed"))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	fp.Enable(simdisk.FPWriteTorn + ":db.journal")
+	tx2 := s.Begin(true)
+	tx2.Put("b", []byte("torn"))
+	if err := tx2.Commit(); !failpoint.IsInjected(err) {
+		t.Fatalf("torn commit err = %v, want injected", err)
+	}
+	if !s.Wedged() {
+		t.Fatal("store not wedged after torn journal write")
+	}
+
+	s2, err := Open(disk, "db", Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if v, ok := s2.Get("a"); !ok || !bytes.Equal(v, []byte("committed")) {
+		t.Fatalf("committed key lost: %q ok=%v", v, ok)
+	}
+	if _, ok := s2.Get("b"); ok {
+		t.Fatal("torn transaction resurrected")
+	}
+}

@@ -20,8 +20,22 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"mspr/internal/failpoint"
 	"mspr/internal/simdisk"
 )
+
+// FPCommitCrash crashes a commit between the journal write and the
+// moment the committing process learns of its success: the journal
+// record is durable (Open finds the transaction committed after a
+// restart), but Commit reports failpoint.ErrInjected and the store
+// wedges until reopened. Callers must treat such a transaction as
+// UNACKNOWLEDGED, never as failed — with testable transactions the
+// retry finds the idempotency record and returns the recorded reply.
+const FPCommitCrash = "sdb.commit.crash"
+
+// ErrWedged is returned by operations on a store whose simulated
+// process died mid-commit; only reopening (a new incarnation) helps.
+var ErrWedged = errors.New("sdb: store wedged by injected crash")
 
 // Store is a durable transactional KV store. Write transactions are
 // serialized (single-writer two-phase locking degenerate case): Begin
@@ -38,6 +52,7 @@ type Store struct {
 	data       map[string][]byte
 	journalOff int64
 	compactAt  int64
+	wedged     bool
 }
 
 // Options tunes the store.
@@ -156,6 +171,10 @@ func (tx *Tx) Get(key string) ([]byte, bool, error) {
 		return append([]byte(nil), v...), true, nil
 	}
 	tx.store.mu.Lock()
+	if tx.store.wedged {
+		tx.store.mu.Unlock()
+		return nil, false, ErrWedged
+	}
 	v, ok := tx.store.data[key]
 	out := append([]byte(nil), v...)
 	tx.store.mu.Unlock()
@@ -211,9 +230,24 @@ func (tx *Tx) Commit() error {
 	s := tx.store
 	block := encodeKVBlock(tx.writes)
 	s.mu.Lock()
+	if s.wedged {
+		s.mu.Unlock()
+		return ErrWedged
+	}
 	if _, err := s.journal.WriteAt(block, s.journalOff); err != nil {
+		if failpoint.IsInjected(err) {
+			s.wedged = true // torn/corrupt journal write: the process died mid-commit
+		}
 		s.mu.Unlock()
 		return err
+	}
+	if _, ok := s.disk.Failpoints().Eval(FPCommitCrash); ok {
+		// The journal record is fully durable, but this incarnation dies
+		// before observing the commit: in-memory state is NOT updated and
+		// every further operation fails until the store is reopened.
+		s.wedged = true
+		s.mu.Unlock()
+		return fmt.Errorf("sdb: commit crashed after journal write: %w", failpoint.ErrInjected)
 	}
 	s.journalOff += int64(len(block))
 	for k, v := range tx.writes {
@@ -273,6 +307,14 @@ func (s *Store) compact() error {
 	s.disk.ChargeWrite(sectors, 0)
 	s.disk.ChargeWrite(1, 0)
 	return nil
+}
+
+// Wedged reports whether the store's simulated process died mid-commit
+// (injected crash); a wedged store must be reopened.
+func (s *Store) Wedged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wedged
 }
 
 // Len returns the number of keys.

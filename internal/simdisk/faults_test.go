@@ -1,0 +1,138 @@
+package simdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mspr/internal/failpoint"
+)
+
+func TestWriteFaultsDisabledByDefault(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	f := d.OpenFile("plain")
+	data := bytes.Repeat([]byte{0xAB}, 1024)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("write with nil registry: %v", err)
+	}
+	got := make([]byte, len(data))
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got, data) {
+		t.Fatal("data damaged without any failpoint armed")
+	}
+}
+
+func TestTransientWriteError(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	fp := failpoint.New(1)
+	d.SetFailpoints(fp)
+	f := d.OpenFile("j")
+	fp.Enable(FPWriteError)
+	if _, err := f.WriteAt([]byte("hello"), 0); !errors.Is(err, ErrTransientWrite) {
+		t.Fatalf("err = %v, want ErrTransientWrite", err)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("transient error persisted %d bytes", f.Size())
+	}
+	// One-shot: the retry succeeds.
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	fp := failpoint.New(2)
+	d.SetFailpoints(fp)
+	f := d.OpenFile("log")
+	data := bytes.Repeat([]byte{0xCD}, 2048)
+	fp.Enable(FPWriteTorn)
+	_, err := f.WriteAt(data, 0)
+	if !failpoint.IsInjected(err) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	n := f.Size()
+	if n <= 0 || n >= int64(len(data)) {
+		t.Fatalf("torn write persisted %d bytes of %d, want a strict prefix", n, len(data))
+	}
+	got := make([]byte, n)
+	f.ReadAt(got, 0)
+	if !bytes.Equal(got, data[:n]) {
+		t.Fatal("surviving prefix does not match the original data")
+	}
+}
+
+func TestTornWritePinnedLength(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	fp := failpoint.New(3)
+	d.SetFailpoints(fp)
+	f := d.OpenFile("log")
+	fp.Enable(FPWriteTorn, failpoint.Arg(7))
+	_, err := f.WriteAt(bytes.Repeat([]byte{1}, 100), 0)
+	if !failpoint.IsInjected(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Size() != 7 {
+		t.Fatalf("pinned torn length persisted %d bytes, want 7", f.Size())
+	}
+}
+
+func TestCorruptWriteFlipsOneBit(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	fp := failpoint.New(4)
+	d.SetFailpoints(fp)
+	f := d.OpenFile("log")
+	data := bytes.Repeat([]byte{0x00}, 512)
+	fp.Enable(FPWriteCorrupt)
+	_, err := f.WriteAt(data, 0)
+	if !failpoint.IsInjected(err) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	if f.Size() != int64(len(data)) {
+		t.Fatalf("corrupt write persisted %d bytes, want full %d", f.Size(), len(data))
+	}
+	got := make([]byte, len(data))
+	f.ReadAt(got, 0)
+	flipped := 0
+	for _, b := range got {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", flipped)
+	}
+}
+
+func TestFileTargetedFaultLeavesOtherFilesAlone(t *testing.T) {
+	d := NewDisk(DefaultModel(0))
+	fp := failpoint.New(5)
+	d.SetFailpoints(fp)
+	victim := d.OpenFile("victim")
+	bystander := d.OpenFile("bystander")
+	fp.Enable(FPWriteTorn + ":victim")
+	if _, err := bystander.WriteAt([]byte("safe data"), 0); err != nil {
+		t.Fatalf("bystander write hit a targeted fault: %v", err)
+	}
+	if _, err := victim.WriteAt(bytes.Repeat([]byte{9}, 64), 0); !failpoint.IsInjected(err) {
+		t.Fatalf("victim write err = %v, want injected", err)
+	}
+	if fp.Armed(FPWriteTorn + ":victim") {
+		t.Fatal("one-shot targeted fault still armed")
+	}
+}
+
+func TestDeterministicTornLengthAcrossRuns(t *testing.T) {
+	run := func() int64 {
+		d := NewDisk(DefaultModel(0))
+		fp := failpoint.New(42)
+		d.SetFailpoints(fp)
+		f := d.OpenFile("log")
+		fp.Enable(FPWriteTorn)
+		f.WriteAt(bytes.Repeat([]byte{1}, 4096), 0)
+		return f.Size()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different torn lengths: %d vs %d", a, b)
+	}
+}

@@ -24,10 +24,12 @@
 package simdisk
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"mspr/internal/failpoint"
 	"mspr/internal/simtime"
 )
 
@@ -123,6 +125,26 @@ type Stats struct {
 	ReadTime    time.Duration // model time spent reading
 }
 
+// ErrTransientWrite is the error injected by the FPWriteError failpoint:
+// a write that failed without destroying anything and may be retried.
+var ErrTransientWrite = errors.New("simdisk: transient write error (injected)")
+
+// Failpoint names evaluated by File.WriteAt. Each name is also evaluated
+// with a ":<file name>" suffix first, so faults can target a single file
+// (e.g. "simdisk.write.torn:msp1.log"). See package failpoint.
+const (
+	// FPWriteTorn persists only a prefix of the write (a torn write, as a
+	// power failure mid-write leaves) and reports an injected crash. The
+	// prefix length is derived from the hit's seeded random value.
+	FPWriteTorn = "simdisk.write.torn"
+	// FPWriteCorrupt persists the write with a single flipped bit (a
+	// crash-time scribble) and reports an injected crash.
+	FPWriteCorrupt = "simdisk.write.corrupt"
+	// FPWriteError fails the write with ErrTransientWrite, persisting
+	// nothing; the caller may retry.
+	FPWriteError = "simdisk.write.error"
+)
+
 // Disk is a simulated disk: a latency domain plus a set of named Files.
 // All I/O charges on one Disk are serialized.
 type Disk struct {
@@ -130,9 +152,10 @@ type Disk struct {
 
 	io sync.Mutex // serializes latency charges (a disk has one head)
 
-	mu    sync.Mutex // guards files and stats
+	mu    sync.Mutex // guards files, stats and fp
 	files map[string]*File
 	stats Stats
+	fp    *failpoint.Registry
 }
 
 // NewDisk creates an empty simulated disk with the given model.
@@ -142,6 +165,23 @@ func NewDisk(model Model) *Disk {
 
 // Model returns the disk's latency model.
 func (d *Disk) Model() Model { return d.model }
+
+// SetFailpoints attaches a fault-injection registry to the disk. All
+// layers stacked on this disk (WAL, journalled stores) share it. A nil
+// registry disables injection entirely.
+func (d *Disk) SetFailpoints(r *failpoint.Registry) {
+	d.mu.Lock()
+	d.fp = r
+	d.mu.Unlock()
+}
+
+// Failpoints returns the disk's fault-injection registry (nil when fault
+// injection is off — safe to Eval either way).
+func (d *Disk) Failpoints() *failpoint.Registry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fp
+}
 
 // Stats returns a snapshot of the disk's accumulated I/O statistics.
 func (d *Disk) Stats() Stats {
@@ -230,12 +270,59 @@ func (f *File) Size() int64 {
 	return f.base + int64(len(f.data))
 }
 
+// evalWriteFault checks the disk's write failpoints for this file,
+// trying the file-targeted name ("<mode>:<file>") before the generic
+// one. It returns the first armed mode that fires.
+func (f *File) evalWriteFault() (mode string, hit failpoint.Hit, ok bool) {
+	fp := f.disk.Failpoints()
+	if fp == nil {
+		return "", failpoint.Hit{}, false
+	}
+	for _, m := range [...]string{FPWriteError, FPWriteTorn, FPWriteCorrupt} {
+		if h, fired := fp.Eval(m + ":" + f.name); fired {
+			return m, h, true
+		}
+		if h, fired := fp.Eval(m); fired {
+			return m, h, true
+		}
+	}
+	return "", failpoint.Hit{}, false
+}
+
 // WriteAt writes p at offset off, growing the file (zero-filled) as
 // needed. The write is durable when WriteAt returns. Writing into a
 // discarded prefix is an error.
+//
+// Fault injection: when the disk's registry arms a write failpoint for
+// this file, the write is failed transiently (nothing persisted), torn
+// (only a seeded-random prefix persisted) or corrupted (one flipped
+// bit persisted). Torn and corrupt writes return failpoint.ErrInjected:
+// the simulated process is considered crashed mid-write and only the
+// damaged data survives into the next incarnation.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("simdisk: negative offset %d writing %q", off, f.name)
+	}
+	var injected error
+	if mode, hit, ok := f.evalWriteFault(); ok {
+		switch mode {
+		case FPWriteError:
+			return 0, fmt.Errorf("simdisk: writing %q at %d: %w", f.name, off, ErrTransientWrite)
+		case FPWriteTorn:
+			keep := tornLength(len(p), hit)
+			p = p[:keep]
+			injected = fmt.Errorf("simdisk: torn write of %q at %d (%d bytes persisted): %w",
+				f.name, off, keep, failpoint.ErrInjected)
+		case FPWriteCorrupt:
+			if len(p) > 0 {
+				damaged := append([]byte(nil), p...)
+				bit := hit.R % int64(len(damaged)*8)
+				damaged[bit/8] ^= 1 << (bit % 8)
+				p = damaged
+			}
+			injected = fmt.Errorf("simdisk: corrupt write of %q at %d: %w",
+				f.name, off, failpoint.ErrInjected)
+		}
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -261,7 +348,24 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		}
 	}
 	copy(f.data[rel:end], p)
-	return len(p), nil
+	return len(p), injected
+}
+
+// tornLength picks how many bytes of an n-byte write survive a torn
+// write: at least 1 and at most n-1 when possible, preferring a cut
+// inside the final sector so the tear is visible to CRC checks. The
+// hit's Arg, when positive, pins the length exactly (clamped to n).
+func tornLength(n int, hit failpoint.Hit) int {
+	if n <= 1 {
+		return 0
+	}
+	if hit.Arg > 0 {
+		if hit.Arg >= int64(n) {
+			return n - 1
+		}
+		return int(hit.Arg)
+	}
+	return 1 + int(hit.R%int64(n-1))
 }
 
 // ReadAt reads into p from offset off. Reads past the end of the file or

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"mspr/internal/core"
+	"mspr/internal/failpoint"
 	"mspr/internal/sdb"
 	"mspr/internal/simdisk"
 	"mspr/internal/simnet"
@@ -205,6 +206,20 @@ func Start(cfg Config) (*Server, error) {
 	return t, nil
 }
 
+// storeFailed converts a store error into the right failure mode: an
+// injected crash (the store's process died mid-commit, or mid-write)
+// means the outcome is UNKNOWN to the caller — replying with an
+// application error would turn a maybe-committed transaction into a
+// definite failure and break exactly-once. Those abort with no reply;
+// the client's resend is deduplicated by the idempotency record. Plain
+// errors (decode failures etc.) are deterministic and reply normally.
+func storeFailed(ctx *core.Ctx, err error) error {
+	if failpoint.IsInjected(err) || errors.Is(err, sdb.ErrWedged) {
+		ctx.AbortNoReply(err)
+	}
+	return err
+}
+
 // exec runs one transaction exactly once. The idempotency key is the
 // calling session and request sequence number; key and reply commit
 // atomically with the data.
@@ -219,7 +234,7 @@ func (t *Server) exec(ctx *core.Ctx, arg []byte) ([]byte, error) {
 	// concurrent deliveries of the same request serialize against it.
 	if prior, ok, err := st.Get(id); err != nil {
 		st.Abort()
-		return nil, err
+		return nil, storeFailed(ctx, err)
 	} else if ok {
 		st.Abort()
 		return prior, nil // already executed: return the recorded reply
@@ -231,7 +246,7 @@ func (t *Server) exec(ctx *core.Ctx, arg []byte) ([]byte, error) {
 			v, _, err := st.Get(dataKey(op.Key))
 			if err != nil {
 				st.Abort()
-				return nil, err
+				return nil, storeFailed(ctx, err)
 			}
 			res.Values = append(res.Values, v)
 		case OpPut:
@@ -243,7 +258,7 @@ func (t *Server) exec(ctx *core.Ctx, arg []byte) ([]byte, error) {
 			cur, _, err := st.Get(dataKey(op.Key))
 			if err != nil {
 				st.Abort()
-				return nil, err
+				return nil, storeFailed(ctx, err)
 			}
 			var base uint64
 			if len(cur) >= 8 {
@@ -276,7 +291,7 @@ func (t *Server) exec(ctx *core.Ctx, arg []byte) ([]byte, error) {
 		return nil, err
 	}
 	if err := st.Commit(); err != nil {
-		return nil, err
+		return nil, storeFailed(ctx, err)
 	}
 	return reply, nil
 }

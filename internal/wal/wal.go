@@ -28,6 +28,8 @@ import (
 	"sync"
 	"time"
 
+	"mspr/internal/failpoint"
+	"mspr/internal/metrics"
 	"mspr/internal/simdisk"
 	"mspr/internal/simtime"
 )
@@ -53,6 +55,29 @@ var ErrNotFound = errors.New("wal: record not found")
 // ErrTruncated is returned when reading below the log head: the record
 // was discarded after a checkpoint made it unnecessary (§3.2, §3.4).
 var ErrTruncated = errors.New("wal: record truncated (below log head)")
+
+// ErrCorrupt is returned by Scan when it finds an unparsable record with
+// valid records *after* it: acknowledged-durable data was damaged in
+// place. Unlike a torn tail (which only loses never-acknowledged
+// records and is repairable with RepairTail), mid-log corruption cannot
+// be repaired without violating the durability contract, so it is
+// surfaced as a hard error.
+var ErrCorrupt = errors.New("wal: log corrupted")
+
+// Failpoints evaluated by the log layer, armed through the registry
+// attached to the backing disk (simdisk.Disk.SetFailpoints).
+const (
+	// FPFlushCrash crashes a flush after records were appended to the
+	// volatile buffer but before the block write — the window between
+	// buffer append and sync. Nothing reaches the disk; the flush
+	// reports failpoint.ErrInjected and the log wedges (sticky flushErr)
+	// until the simulated process restarts.
+	FPFlushCrash = "wal.flush.crash"
+	// FPAnchorCrash tears an anchor-slot write (a seeded-random prefix
+	// of the slot is persisted) and reports failpoint.ErrInjected,
+	// exercising the double-buffered anchor fallback path.
+	FPAnchorCrash = "wal.anchor.crash"
+)
 
 // Config controls a Log's flushing behaviour.
 type Config struct {
@@ -102,7 +127,12 @@ type Log struct {
 	flushErr   error
 	appendSeal bool // reject appends (used only by tests simulating a wedged log)
 
+	tornFrom int64 // device offset of a torn tail found by the last Scan (0 = none)
+
 	flushMu sync.Mutex // serializes physical flushes
+
+	anchorMu  sync.Mutex // guards anchorSeq and anchor-slot writes
+	anchorSeq uint64     // sequence number of the newest valid anchor slot
 
 	readMu     sync.Mutex       // guards the read-ahead cache
 	cache      map[int64][]byte // read-ahead blocks by device offset
@@ -154,8 +184,24 @@ func Open(disk *simdisk.Disk, name string, cfg Config) (*Log, error) {
 	l.bufStart = LSN(end)
 	l.nextLSN = LSN(end)
 	l.durable = LSN(end)
+	// Learn the newest anchor-slot sequence number so the first
+	// WriteAnchor of this incarnation keeps alternating slots. This is a
+	// mount-time peek, not a modelled I/O; ReadAnchor charges the read.
+	for slot := int64(0); slot < 2; slot++ {
+		buf := make([]byte, anchorSlotLen)
+		if _, err := l.anchor.ReadAt(buf, slot*simdisk.SectorSize); err != nil {
+			return nil, fmt.Errorf("wal: reading anchor slot: %w", err)
+		}
+		if _, seq, ok := parseAnchorSlot(buf); ok && seq > l.anchorSeq {
+			l.anchorSeq = seq
+		}
+	}
 	return l, nil
 }
+
+// fp returns the fault-injection registry shared through the backing
+// disk; nil (injection off) is safe to Eval.
+func (l *Log) fp() *failpoint.Registry { return l.disk.Failpoints() }
 
 func alignUp(n int64) int64 {
 	const s = simdisk.SectorSize
@@ -295,10 +341,27 @@ func (l *Log) flushNow(upTo LSN) error {
 		l.mu.Unlock()
 		return errors.New("wal: log closed")
 	}
+	if l.flushErr != nil {
+		// A previous flush failed; the log is wedged until the process
+		// restarts and recovers, exactly like a dead log device.
+		err := l.flushErr
+		l.mu.Unlock()
+		return err
+	}
 	if upTo < l.durable || len(l.buf) == 0 {
 		// A racing flush already covered this request.
 		l.mu.Unlock()
 		return nil
+	}
+	if _, ok := l.fp().Eval(FPFlushCrash); ok {
+		// Crash between buffer append and sync: nothing reaches the disk
+		// and no caller was ever told the records were durable. The error
+		// is sticky, like a real dead process's log.
+		err := fmt.Errorf("wal: flush of %q crashed before write: %w", l.file.Name(), failpoint.ErrInjected)
+		l.flushErr = err
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return err
 	}
 	data := l.buf
 	start := l.bufStart
@@ -313,12 +376,22 @@ func (l *Log) flushNow(upTo LSN) error {
 	l.nextLSN = LSN(padded)
 	l.mu.Unlock()
 
-	if _, err := l.file.WriteAt(block, int64(start)); err != nil {
+	var werr error
+	for attempt := 0; ; attempt++ {
+		if _, werr = l.file.WriteAt(block, int64(start)); werr == nil {
+			break
+		}
+		if attempt >= 2 || !errors.Is(werr, simdisk.ErrTransientWrite) {
+			break
+		}
+		metrics.Recovery.TransientWriteRetries.Inc()
+	}
+	if werr != nil {
 		l.mu.Lock()
-		l.flushErr = err
+		l.flushErr = werr
 		l.cond.Broadcast()
 		l.mu.Unlock()
-		return err
+		return werr
 	}
 	sectors := len(block) / simdisk.SectorSize
 	l.disk.ChargeWrite(sectors, waste)
@@ -481,6 +554,14 @@ func parseFrame(b []byte) (typ byte, payload []byte, size int, err error) {
 // Scan calls fn for every valid durable record with LSN ≥ from, in log
 // order, and returns the LSN of the last valid record seen (0 if none).
 // It charges sequential 64 KB reads, as the analysis scan of §4.3 does.
+//
+// An unparsable frame ends the scan one of two ways. If no valid record
+// follows it, the damage is a torn tail — only records that were never
+// acknowledged durable are lost. Scan records the tear point (see
+// RepairTail) and returns normally; Scan itself never mutates the log,
+// so read-only consumers (logdump) stay safe. If valid records *do*
+// follow, acknowledged data was damaged in place and Scan returns
+// ErrCorrupt.
 func (l *Log) Scan(from LSN, fn func(lsn LSN, typ byte, payload []byte) error) (last LSN, err error) {
 	if from < headerSize {
 		from = headerSize
@@ -488,6 +569,9 @@ func (l *Log) Scan(from LSN, fn func(lsn LSN, typ byte, payload []byte) error) (
 	if h := l.Head(); from < h {
 		from = h
 	}
+	l.mu.Lock()
+	l.tornFrom = 0
+	l.mu.Unlock()
 	end := l.Durable()
 	off := int64(from)
 	for off < int64(end) {
@@ -509,16 +593,32 @@ func (l *Log) Scan(from LSN, fn func(lsn LSN, typ byte, payload []byte) error) (
 			return last, err
 		}
 		n := int(binary.LittleEndian.Uint32(lenb[1:5]))
-		if int64(n) > int64(end)-off {
-			break // truncated tail
+		bad := int64(n) > int64(end)-off // length field runs past the durable end
+		var typ byte
+		var payload []byte
+		var size int
+		if !bad {
+			frame, err := l.cachedBytes(off, n+frameOverhead)
+			if err != nil {
+				return last, err
+			}
+			var perr error
+			typ, payload, size, perr = parseFrame(frame)
+			bad = perr != nil
 		}
-		frame, err := l.cachedBytes(off, n+frameOverhead)
-		if err != nil {
-			return last, err
-		}
-		typ, payload, size, perr := parseFrame(frame)
-		if perr != nil {
-			break // corrupt tail ends the valid prefix
+		if bad {
+			valid, perr := l.probeValidAfter(off, int64(end))
+			if perr != nil {
+				return last, perr
+			}
+			if valid {
+				metrics.Recovery.MidLogCorruptions.Inc()
+				return last, fmt.Errorf("wal: unparsable record at LSN %d with valid records after it: %w", off, ErrCorrupt)
+			}
+			l.mu.Lock()
+			l.tornFrom = off
+			l.mu.Unlock()
+			break // torn tail: only never-acknowledged records lost
 		}
 		if fn != nil {
 			if err := fn(LSN(off), typ, payload); err != nil {
@@ -531,6 +631,65 @@ func (l *Log) Scan(from LSN, fn func(lsn LSN, typ byte, payload []byte) error) (
 	return last, nil
 }
 
+// probeValidAfter reports whether any fully valid record starts at a
+// sector boundary after off. Flush blocks always start at sector
+// boundaries, so a later block's first record is found here; garbage
+// inside the damaged block itself fails the CRC and is skipped.
+func (l *Log) probeValidAfter(off, end int64) (bool, error) {
+	for p := alignUp(off + 1); p < end; p += simdisk.SectorSize {
+		hdr, err := l.cachedBytes(p, 5)
+		if err != nil {
+			return false, err
+		}
+		if hdr[0] == 0 {
+			continue
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[1:5]))
+		if int64(n) > end-p {
+			continue
+		}
+		frame, err := l.cachedBytes(p, n+frameOverhead)
+		if err != nil {
+			return false, err
+		}
+		if _, _, _, perr := parseFrame(frame); perr == nil {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// RepairTail truncates the torn tail found by the most recent Scan, if
+// any, and reports whether it did. The append and durable frontiers are
+// pulled back to the tear's sector; without this, Open's frontier
+// (placed past the garbage by file size) would strand every later
+// append behind the unparsable region, invisible to all future scans.
+// Recovery must call it after its analysis scan and before appending.
+func (l *Log) RepairTail() bool {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	off := l.tornFrom
+	l.tornFrom = 0
+	if off == 0 || len(l.buf) > 0 || l.pending != nil {
+		// Nothing torn, or appends already landed past the tear — the
+		// caller broke the scan-then-repair protocol; refuse.
+		l.mu.Unlock()
+		return false
+	}
+	aligned := alignUp(off)
+	l.bufStart = LSN(aligned)
+	l.nextLSN = LSN(aligned)
+	if l.durable > LSN(aligned) {
+		l.durable = LSN(aligned)
+	}
+	l.mu.Unlock()
+	l.file.Truncate(off) // the [off, aligned) gap reads as zeros: padding
+	l.InvalidateCache()
+	metrics.Recovery.CorruptTailTruncations.Inc()
+	return true
+}
+
 // Anchor is the content of the log anchor block (§3.4): the location of
 // the most recent MSP checkpoint, the MSP's current epoch number, and
 // the log head (records below it have been discarded).
@@ -540,45 +699,121 @@ type Anchor struct {
 	Head          LSN
 }
 
-var anchorMagic = [4]byte{'A', 'N', 'C', '1'}
+// The anchor file holds two sector-sized slots, written alternately and
+// stamped with a monotone sequence number. A crash tearing the slot
+// being written leaves the other slot — holding the previous anchor —
+// intact, so an anchor update is never a single point of failure.
+// Slot layout: [magic:4][seq:u64][epoch:u32][ckptLSN:u64][head:u64]
+// [crc32 over the first 32 bytes].
+var anchorMagic = [4]byte{'A', 'N', 'C', '2'}
 
-// WriteAnchor durably records the anchor, charging a one-sector write.
-func (l *Log) WriteAnchor(a Anchor) error {
+const anchorSlotLen = 4 + 8 + 4 + 8 + 8 + 4
+
+func encodeAnchorSlot(a Anchor, seq uint64) []byte {
 	buf := make([]byte, simdisk.SectorSize)
 	copy(buf, anchorMagic[:])
-	binary.LittleEndian.PutUint32(buf[4:], a.Epoch)
-	binary.LittleEndian.PutUint64(buf[8:], uint64(a.CheckpointLSN))
-	binary.LittleEndian.PutUint64(buf[16:], uint64(a.Head))
-	crc := crc32.ChecksumIEEE(buf[:24])
-	binary.LittleEndian.PutUint32(buf[24:], crc)
-	if _, err := l.anchor.WriteAt(buf, 0); err != nil {
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	binary.LittleEndian.PutUint32(buf[12:], a.Epoch)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(a.CheckpointLSN))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(a.Head))
+	binary.LittleEndian.PutUint32(buf[32:], crc32.ChecksumIEEE(buf[:32]))
+	return buf
+}
+
+func parseAnchorSlot(buf []byte) (a Anchor, seq uint64, ok bool) {
+	if len(buf) < anchorSlotLen || [4]byte(buf[:4]) != anchorMagic {
+		return Anchor{}, 0, false
+	}
+	if crc32.ChecksumIEEE(buf[:32]) != binary.LittleEndian.Uint32(buf[32:]) {
+		return Anchor{}, 0, false
+	}
+	seq = binary.LittleEndian.Uint64(buf[4:])
+	a.Epoch = binary.LittleEndian.Uint32(buf[12:])
+	a.CheckpointLSN = LSN(binary.LittleEndian.Uint64(buf[16:]))
+	a.Head = LSN(binary.LittleEndian.Uint64(buf[24:]))
+	return a, seq, true
+}
+
+// WriteAnchor durably records the anchor, charging a one-sector write.
+// The write goes to the slot NOT holding the newest valid anchor, so
+// the previous anchor survives until the new one is fully on disk.
+func (l *Log) WriteAnchor(a Anchor) error {
+	l.anchorMu.Lock()
+	defer l.anchorMu.Unlock()
+	seq := l.anchorSeq + 1
+	buf := encodeAnchorSlot(a, seq)
+	off := int64(seq%2) * simdisk.SectorSize
+	if hit, ok := l.fp().Eval(FPAnchorCrash); ok {
+		// Tear the slot write: persist a prefix long enough to damage the
+		// stored sequence number (so the slot cannot masquerade as its
+		// old self) but never the whole slot. Arg pins the prefix length.
+		keep := 5 + int(hit.R%int64(anchorSlotLen-5))
+		if hit.Arg > 0 && hit.Arg < int64(anchorSlotLen) {
+			keep = int(hit.Arg)
+		}
+		l.anchor.WriteAt(buf[:keep], off)
+		l.disk.ChargeWrite(1, 0)
+		return fmt.Errorf("wal: anchor write of %q torn at %d bytes: %w", l.anchor.Name(), keep, failpoint.ErrInjected)
+	}
+	if _, err := l.anchor.WriteAt(buf, off); err != nil {
 		return err
 	}
 	l.disk.ChargeWrite(1, 0)
+	l.anchorSeq = seq
 	return nil
 }
 
-// ReadAnchor returns the stored anchor, or ok=false if none was ever
-// written.
+// ReadAnchor returns the newest valid stored anchor, or ok=false if none
+// was ever written. When the newest slot is torn or corrupt but the
+// other slot holds a valid (older) anchor, that anchor is returned and
+// the fallback is counted; recovery then proceeds from the previous
+// checkpoint, which is always safe (the log below it was not yet
+// discarded — TruncateHead runs only after the anchor write succeeds).
 func (l *Log) ReadAnchor() (a Anchor, ok bool, err error) {
+	l.anchorMu.Lock()
+	defer l.anchorMu.Unlock()
 	if l.anchor.Size() == 0 {
 		return Anchor{}, false, nil
 	}
-	buf := make([]byte, simdisk.SectorSize)
+	buf := make([]byte, 2*simdisk.SectorSize)
 	if _, err := l.anchor.ReadAt(buf, 0); err != nil {
 		return Anchor{}, false, err
 	}
-	l.disk.ChargeRead(1)
-	if [4]byte(buf[:4]) != anchorMagic {
-		return Anchor{}, false, fmt.Errorf("wal: bad anchor magic")
+	l.disk.ChargeRead(2)
+	var best Anchor
+	var bestSeq uint64
+	found, damaged := false, false
+	for slot := 0; slot < 2; slot++ {
+		sb := buf[slot*simdisk.SectorSize:][:anchorSlotLen]
+		if sa, seq, sok := parseAnchorSlot(sb); sok {
+			if !found || seq > bestSeq {
+				best, bestSeq = sa, seq
+			}
+			found = true
+		} else if !allZero(sb) {
+			damaged = true // a slot was written but does not validate
+		}
 	}
-	if crc32.ChecksumIEEE(buf[:24]) != binary.LittleEndian.Uint32(buf[24:]) {
-		return Anchor{}, false, fmt.Errorf("wal: bad anchor crc")
+	if !found {
+		if damaged {
+			return Anchor{}, false, fmt.Errorf("wal: no valid anchor slot in %q", l.anchor.Name())
+		}
+		return Anchor{}, false, nil
 	}
-	a.Epoch = binary.LittleEndian.Uint32(buf[4:])
-	a.CheckpointLSN = LSN(binary.LittleEndian.Uint64(buf[8:]))
-	a.Head = LSN(binary.LittleEndian.Uint64(buf[16:]))
-	return a, true, nil
+	if damaged {
+		metrics.Recovery.AnchorFallbacks.Inc()
+	}
+	l.anchorSeq = bestSeq
+	return best, true, nil
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Head returns the log head: the smallest LSN that may still hold a
