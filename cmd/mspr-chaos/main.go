@@ -23,6 +23,7 @@ import (
 	"mspr/internal/chaos"
 	"mspr/internal/core"
 	"mspr/internal/failpoint"
+	"mspr/internal/metrics"
 	"mspr/internal/rpc"
 	"mspr/internal/sdb"
 	"mspr/internal/simdisk"
@@ -54,6 +55,8 @@ func main() {
 	scale := flag.Float64("scale", 0.005, "time scale")
 	failpoints := flag.Bool("failpoints", false,
 		"arm the injected crash surface: torn log writes, anchor corruption, crashes inside recovery, mid-commit store crashes")
+	partitions := flag.Bool("partitions", false,
+		"arm the partition surface: split the service domain, crash-restart MSPs while split (recovery broadcasts lost), heal and let anti-entropy converge")
 	flag.Parse()
 
 	net := simnet.New(simnet.Config{
@@ -116,6 +119,12 @@ func main() {
 		cfg.SessionCkptThreshold = 64 << 10
 		cfg.TimeScale = *scale
 		cfg.Failpoints = fp
+		if *partitions {
+			// A partition storm loses recovery broadcasts; the periodic
+			// knowledge pull guarantees orphan detection converges after
+			// the heal even on a quiet link.
+			cfg.AntiEntropyEvery = 200 * time.Millisecond
+		}
 		return cfg
 	}
 	backCfg := mkCfg("back", backDef, fpBack)
@@ -133,7 +142,7 @@ func main() {
 	// a recovering server sees a spread-out retry wave; the plain storm
 	// keeps the paper's fixed 100 ms backoff.
 	copts := rpc.DefaultCallOptions(*scale)
-	if *failpoints {
+	if *failpoints || *partitions {
 		copts = rpc.BackoffCallOptions(*scale, *seed)
 	}
 	client := core.NewClient("storm-client", net, copts)
@@ -202,6 +211,21 @@ func main() {
 			}},
 		)
 	}
+	if *partitions {
+		split := [][]simnet.Addr{{"front"}, {"back"}}
+		hold := 100 * time.Millisecond
+		faults = append(faults,
+			// A plain split: workers blocked on the far side degrade the
+			// end client to Busy until the heal.
+			chaos.PartitionFault("partition", &procMu, net, split, hold, nil),
+			// Crash-restart an MSP while the domain is split: its recovery
+			// broadcast cannot cross the partition, so the far side must
+			// learn the new epoch afterwards via piggybacked knowledge and
+			// anti-entropy, then sweep the orphans it was left holding.
+			chaos.PartitionFault("partition-crash-front", &procMu, net, split, hold, restartFront),
+			chaos.PartitionFault("partition-crash-back", &procMu, net, split, hold, restartBack),
+		)
+	}
 
 	w := chaos.Workload{
 		Actors:      *actors,
@@ -248,6 +272,12 @@ func main() {
 
 	rep := chaos.Run(w, faults, chaos.Options{Seed: *seed, FaultEvery: *faultEvery})
 	fmt.Println(rep)
+	n := &metrics.Net
+	fmt.Printf("net: reqQueueDrops=%d partitionDrops=%d blockedDrops=%d lossDrops=%d\n",
+		n.RequestQueueDrops.Load(), n.PartitionDrops.Load(), n.BlockedDrops.Load(), n.LossDrops.Load())
+	fmt.Printf("ctl: dups=%d flushDeadlines=%d peerDown=%d antiEntropyPulls=%d broadcastMissed=%d\n",
+		n.CtlDuplicates.Load(), n.FlushDeadlinesExceeded.Load(), n.PeerDownEvents.Load(),
+		n.AntiEntropyPulls.Load(), n.BroadcastPeersMissed.Load())
 	for _, err := range rep.Errors {
 		fmt.Fprintln(os.Stderr, " -", err)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mspr/internal/failpoint"
+	"mspr/internal/simnet"
 )
 
 // Workload describes the load to apply.
@@ -194,6 +195,35 @@ func RestartFault(name string, mu *sync.Mutex, crashAndRestart func() error) Fau
 			mu.Lock()
 			defer mu.Unlock()
 			return crashAndRestart()
+		},
+	}
+}
+
+// PartitionFault splits the network into the given groups, optionally
+// fires during() while the split is in force (typically a crash-restart,
+// so a process recovers while its domain peers are unreachable and its
+// recovery broadcast is lost), holds the partition for hold, then heals.
+// Addresses not named in any group — end clients, cross-domain
+// processes — keep reaching everyone; only the named processes are cut
+// off from each other.
+//
+// The mutex serializes the fault against other faults and against any
+// final check that touches the processes; the network is always healed
+// before Fire returns, even when during() fails.
+func PartitionFault(name string, mu *sync.Mutex, net *simnet.Network, groups [][]simnet.Addr, hold time.Duration, during func() error) Fault {
+	return Fault{
+		Name: name,
+		Fire: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			net.Partition(groups...)
+			defer net.Heal()
+			var err error
+			if during != nil {
+				err = during()
+			}
+			time.Sleep(hold)
+			return err
 		},
 	}
 }

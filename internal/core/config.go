@@ -91,6 +91,32 @@ type Config struct {
 	// benchmark of the paper's parallel-recovery claim (§1.3, §4.3); keep
 	// it false in real use.
 	SerialRecovery bool
+	// FlushDeadline bounds one distributed-flush peer call end to end
+	// (model time): transmission, retransmissions with backoff, and the
+	// wait for the peer to finish recovering. A peer unreachable past
+	// the deadline is marked down and the caller degrades (the end
+	// client sees Busy) instead of hanging. Zero selects the 2 s
+	// default. Scaled durations are clamped to small wall-clock floors
+	// so tiny TimeScales keep working.
+	FlushDeadline time.Duration
+	// CtlRetransmit is the base retransmission interval for control
+	// calls (flush requests, recovery broadcasts, knowledge pulls); it
+	// grows with capped exponential backoff and ±20% seeded jitter.
+	// Zero selects the 20 ms default.
+	CtlRetransmit time.Duration
+	// BroadcastDeadline bounds the wait for each peer's recovery-
+	// broadcast ack and each anti-entropy pull. Peers missed within it
+	// converge later via anti-entropy. Zero selects the 500 ms default.
+	BroadcastDeadline time.Duration
+	// AntiEntropyEvery, when positive, runs a periodic knowledge pull
+	// against domain peers in round-robin order, converging orphan
+	// detection after a partition heals even without traffic. Zero (the
+	// default) relies on piggybacked knowledge and on-contact pulls.
+	AntiEntropyEvery time.Duration
+	// PeerProbeEvery is how often a peer marked down is probed by an
+	// otherwise fast-failing flush call. Zero selects the 100 ms
+	// default.
+	PeerProbeEvery time.Duration
 	// StatelessSessions makes the server accept any request sequence on
 	// any session, creating sessions on demand and executing every
 	// delivery. It is for services that deduplicate at a lower layer —
@@ -128,5 +154,9 @@ func NewConfig(id string, domain *Domain, disk *simdisk.Disk, net *simnet.Networ
 		MSPCkptEvery:         4 << 20,
 		ForceCkptAfter:       3,
 		TimeScale:            timeScale,
+		FlushDeadline:        2 * time.Second,
+		CtlRetransmit:        20 * time.Millisecond,
+		BroadcastDeadline:    500 * time.Millisecond,
+		PeerProbeEvery:       100 * time.Millisecond,
 	}
 }

@@ -314,11 +314,29 @@ func (c *Ctx) liveCall(out *outSession, method string, arg []byte) ([]byte, erro
 			req.HasDV = true
 			req.DV = sess.vecWithSelf()
 		} else {
-			if err := s.distributedFlush(sess.vecWithSelf()); err != nil {
+			// The before-send distributed flush. An unreachable peer is a
+			// transient condition (partition, crash under repair), not an
+			// outcome the method may observe: retry with backoff until
+			// the dependency flushes or turns out to be an orphan. The
+			// blocked worker is the degradation — the end client gets
+			// Busy from the session dispatcher meanwhile.
+			bo := s.ctlBackoff(s.ctlID.Add(1))
+			for {
+				err := s.distributedFlush(sess.vecWithSelf())
+				if err == nil {
+					break
+				}
 				if errors.Is(err, errOrphanDep) {
 					panic(orphanAbort{})
 				}
-				return nil, err
+				if !errors.Is(err, errUnavailable) {
+					return nil, err
+				}
+				if s.getState() == stateCrashed {
+					panic(crashAbort{err})
+				}
+				simtime.Sleep(bo.Next())
+				c.intercept()
 			}
 		}
 	}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"mspr/internal/dv"
+	"mspr/internal/logrec"
+	"mspr/internal/metrics"
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+	"mspr/internal/simtime"
+	"mspr/internal/wal"
+)
+
+// This file is the server side of the intra-domain control plane: the
+// distributed flush requests, recovery broadcasts and anti-entropy
+// knowledge exchanges that used to be direct in-process method calls
+// now travel over the simulated network as rpc envelopes, so they can
+// be lost, duplicated, reordered, delayed or partitioned away — and the
+// machinery here makes the protocol survive that:
+//
+//   - every control request carries a sender-unique ID; the sender
+//     retransmits under the same ID with capped+jittered backoff, and
+//     the receiver dedups by (sender, ID), answering retransmissions
+//     from a bounded reply cache;
+//   - each call has a deadline; a peer that stays unreachable is marked
+//     down in a per-peer health table, after which flushes against it
+//     fail fast (the end client sees Busy, not a hang) with periodic
+//     probes until the peer answers again;
+//   - recovery broadcasts are best-effort: peers missed by a broadcast
+//     (partitioned, down) catch up through anti-entropy — every flush
+//     reply and recovery ack piggybacks the replier's knowledge, and a
+//     peer transitioning unreachable→reachable triggers an explicit
+//     knowledge pull.
+
+// Wall-clock floors applied to scaled control-plane durations: at tiny
+// TimeScales a model deadline would scale to ~0 and every control call
+// would give up before its first reply could arrive.
+const (
+	ctlRetransmitFloor = time.Millisecond
+	ctlDeadlineFloor   = 25 * time.Millisecond
+)
+
+// ctlWall converts a model duration to a wall-clock one, clamped below
+// by floor.
+func ctlWall(d time.Duration, scale float64, floor time.Duration) time.Duration {
+	s := time.Duration(float64(d) * scale)
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// pendingCtl routes control replies (FlushReply, RecoveryAck,
+// KnowledgeReply) to the goroutines waiting on them, keyed by the
+// request ID the reply echoes.
+type pendingCtl struct {
+	mu sync.Mutex
+	m  map[uint64]chan any
+}
+
+func (p *pendingCtl) register(id uint64) chan any {
+	ch := make(chan any, 4)
+	p.mu.Lock()
+	if p.m == nil {
+		p.m = make(map[uint64]chan any)
+	}
+	p.m[id] = ch
+	p.mu.Unlock()
+	return ch
+}
+
+func (p *pendingCtl) deregister(id uint64) {
+	p.mu.Lock()
+	delete(p.m, id)
+	p.mu.Unlock()
+}
+
+func (p *pendingCtl) resolve(id uint64, rep any) {
+	p.mu.Lock()
+	ch := p.m[id]
+	p.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- rep:
+	default:
+	}
+}
+
+// ctlKey identifies one control request for dedup: who sent it, under
+// which ID.
+type ctlKey struct {
+	from simnet.Addr
+	id   uint64
+}
+
+// ctlCache is the bounded server-side reply cache behind control-message
+// dedup: a retransmitted request is answered with the cached reply
+// instead of being re-executed. Eviction is FIFO.
+type ctlCache struct {
+	mu    sync.Mutex
+	m     map[ctlKey]any
+	order []ctlKey
+	cap   int
+}
+
+func newCtlCache(capacity int) *ctlCache {
+	return &ctlCache{m: make(map[ctlKey]any), cap: capacity}
+}
+
+func (c *ctlCache) get(k ctlKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+
+func (c *ctlCache) put(k ctlKey, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; !ok {
+		c.order = append(c.order, k)
+		for len(c.order) > c.cap {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.m[k] = v
+}
+
+// peerHealth tracks, per domain peer, whether the peer is currently
+// considered reachable. A peer goes down when a control call exhausts
+// its deadline against it; while down, flushes against the peer fail
+// fast except for one probe per probe interval. Any message from the
+// peer — or a successful call to it — brings it back up.
+type peerHealth struct {
+	mu    sync.Mutex
+	peers map[string]*peerStatus
+}
+
+type peerStatus struct {
+	down      bool
+	nextProbe time.Time
+}
+
+func newPeerHealth() *peerHealth {
+	return &peerHealth{peers: make(map[string]*peerStatus)}
+}
+
+func (h *peerHealth) status(peer string) *peerStatus {
+	st, ok := h.peers[peer]
+	if !ok {
+		st = &peerStatus{}
+		h.peers[peer] = st
+	}
+	return st
+}
+
+// markDown records the peer unreachable; the first probe is allowed
+// after probeEvery. It reports whether the peer was up before.
+func (h *peerHealth) markDown(peer string, probeEvery time.Duration) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.status(peer)
+	wasUp := !st.down
+	st.down = true
+	st.nextProbe = time.Now().Add(probeEvery)
+	return wasUp
+}
+
+// markUp records the peer reachable and reports whether it was down.
+func (h *peerHealth) markUp(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.status(peer)
+	wasDown := st.down
+	st.down = false
+	return wasDown
+}
+
+// down reports whether the peer is currently considered unreachable.
+func (h *peerHealth) isDown(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[peer]
+	return ok && st.down
+}
+
+// allowCall reports whether a control call against the peer should run
+// now: always for a healthy peer; for a down peer only once per probe
+// interval (the probe slot is consumed).
+func (h *peerHealth) allowCall(peer string, probeEvery time.Duration) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.status(peer)
+	if !st.down {
+		return true
+	}
+	now := time.Now()
+	if now.Before(st.nextProbe) {
+		return false
+	}
+	st.nextProbe = now.Add(probeEvery)
+	return true
+}
+
+// nextCtlID mints a control-message ID that is unique across this
+// process's incarnations: the current epoch occupies the high 32 bits,
+// a per-incarnation counter the low 32. Plain counters would collide in
+// peers' dedup caches after a restart — the first control message of the
+// new incarnation (typically its recovery broadcast) would be answered
+// with a stale cached reply from the crashed incarnation's ID space and
+// silently dropped.
+func (s *Server) nextCtlID() uint64 {
+	return uint64(s.epoch.Load())<<32 | (s.ctlID.Add(1) & 0xffffffff)
+}
+
+// ctlSeed derives a deterministic per-call jitter seed from the server
+// identity and the call ID.
+func (s *Server) ctlSeed(id uint64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.cfg.ID))
+	return int64(h.Sum64()) ^ int64(id)
+}
+
+// ctlBackoff builds the retransmission backoff for one control call:
+// base CtlRetransmit, doubling to 16×, ±20% seeded jitter.
+func (s *Server) ctlBackoff(id uint64) *rpc.Backoff {
+	base := ctlWall(s.cfg.CtlRetransmit, s.cfg.TimeScale, ctlRetransmitFloor)
+	return rpc.NewBackoff(base, 16*base, 0.2, s.ctlSeed(id))
+}
+
+// probeEvery returns the wall-clock probe interval for down peers.
+func (s *Server) probeEvery() time.Duration {
+	return ctlWall(s.cfg.PeerProbeEvery, s.cfg.TimeScale, ctlDeadlineFloor)
+}
+
+// markPeerDown transitions a peer to down in the health table.
+func (s *Server) markPeerDown(peer string) {
+	if s.health.markDown(peer, s.probeEvery()) {
+		metrics.Net.PeerDownEvents.Inc()
+	}
+}
+
+// PeerDown reports whether this server currently considers the named
+// domain peer unreachable. Harnesses and tests observe degradation with
+// it.
+func (s *Server) PeerDown(peer string) bool { return s.health.isDown(peer) }
+
+// noteContact records evidence that the sender of a received message is
+// alive. If the sender is a domain peer that was marked down, it comes
+// back up and an anti-entropy knowledge pull is issued — the "healed
+// peer pulls missed RecoveryInfo on next contact" half of broadcast
+// convergence.
+func (s *Server) noteContact(from simnet.Addr) {
+	peer := string(from)
+	if peer == s.cfg.ID || !s.cfg.Domain.Contains(peer) {
+		return
+	}
+	if s.health.markUp(peer) {
+		s.goBackground(func() { s.pullKnowledge(peer) })
+	}
+}
+
+// callFlush performs one deadline-bounded flush call against a peer:
+// send FlushRequest, retransmit with backoff under the same ID, absorb
+// the piggybacked knowledge of any reply. It returns errOrphanDep,
+// errUnavailable (deadline exceeded or peer recovering past deadline),
+// or nil.
+func (s *Server) callFlush(peer string, sid dv.StateID) error {
+	id := s.nextCtlID()
+	ch := s.ctl.register(id)
+	defer s.ctl.deregister(id)
+	bo := s.ctlBackoff(id)
+	deadline := time.Now().Add(ctlWall(s.cfg.FlushDeadline, s.cfg.TimeScale, ctlDeadlineFloor))
+	req := rpc.FlushRequest{ID: id, From: s.ep.Addr(), SID: sid}
+	for {
+		s.ep.Send(simnet.Addr(peer), req)
+		wait := bo.Next()
+		if rem := time.Until(deadline); wait > rem {
+			wait = rem
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		timer := time.NewTimer(wait)
+	waiting:
+		for {
+			select {
+			case <-s.stop:
+				timer.Stop()
+				return errUnavailable
+			case raw := <-ch:
+				rep, ok := raw.(rpc.FlushReply)
+				if !ok {
+					continue
+				}
+				timer.Stop()
+				s.absorbKnowledge(rep.Known)
+				switch rep.Code {
+				case rpc.CtlOK:
+					s.health.markUp(peer)
+					return nil
+				case rpc.CtlOrphan:
+					s.health.markUp(peer)
+					return errOrphanDep
+				default:
+					// Peer reachable but recovering: short pause, then
+					// retransmit until the deadline decides.
+					simtime.Sleep(ctlWall(s.cfg.CtlRetransmit, s.cfg.TimeScale, ctlRetransmitFloor))
+					break waiting
+				}
+			case <-timer.C:
+				break waiting
+			}
+		}
+		if s.getState() == stateCrashed {
+			return errUnavailable
+		}
+		if !time.Now().Before(deadline) {
+			metrics.Net.FlushDeadlinesExceeded.Inc()
+			s.markPeerDown(peer)
+			return fmt.Errorf("core: peer %s unreachable within flush deadline: %w", peer, errUnavailable)
+		}
+	}
+}
+
+// broadcastRecovery announces a recovered state number to every domain
+// peer over the network, best-effort: each peer is retransmitted to with
+// backoff until it acks or its share of the broadcast deadline passes.
+// It returns the union of the reachable peers' knowledge snapshots.
+// Peers missed here converge later via anti-entropy.
+func (s *Server) broadcastRecovery(info dv.RecoveryInfo) []dv.RecoveryInfo {
+	var peers []string
+	for _, id := range s.cfg.Domain.Members() {
+		if id != s.cfg.ID {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		return nil
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		learned []dv.RecoveryInfo
+	)
+	for _, peer := range peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			known, ok := s.broadcastToPeer(peer, info)
+			if !ok {
+				metrics.Net.BroadcastPeersMissed.Inc()
+				s.markPeerDown(peer)
+				return
+			}
+			s.health.markUp(peer)
+			mu.Lock()
+			learned = append(learned, known...)
+			mu.Unlock()
+		}(peer)
+	}
+	wg.Wait()
+	return learned
+}
+
+// broadcastToPeer delivers one RecoveryBroadcast to one peer with
+// retransmission, bounded by the broadcast deadline.
+func (s *Server) broadcastToPeer(peer string, info dv.RecoveryInfo) ([]dv.RecoveryInfo, bool) {
+	id := s.nextCtlID()
+	ch := s.ctl.register(id)
+	defer s.ctl.deregister(id)
+	bo := s.ctlBackoff(id)
+	deadline := time.Now().Add(ctlWall(s.cfg.BroadcastDeadline, s.cfg.TimeScale, ctlDeadlineFloor))
+	req := rpc.RecoveryBroadcast{ID: id, From: s.ep.Addr(), Info: info}
+	for {
+		s.ep.Send(simnet.Addr(peer), req)
+		wait := bo.Next()
+		if rem := time.Until(deadline); wait > rem {
+			wait = rem
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-s.stop:
+			timer.Stop()
+			return nil, false
+		case raw := <-ch:
+			if ack, ok := raw.(rpc.RecoveryAck); ok {
+				timer.Stop()
+				return ack.Known, true
+			}
+		case <-timer.C:
+		}
+		if s.getState() == stateCrashed || !time.Now().Before(deadline) {
+			return nil, false
+		}
+	}
+}
+
+// pullKnowledge performs one anti-entropy knowledge pull against a peer
+// (single request, retransmitted until the broadcast deadline) and
+// absorbs whatever comes back.
+func (s *Server) pullKnowledge(peer string) {
+	metrics.Net.AntiEntropyPulls.Inc()
+	id := s.nextCtlID()
+	ch := s.ctl.register(id)
+	defer s.ctl.deregister(id)
+	bo := s.ctlBackoff(id)
+	deadline := time.Now().Add(ctlWall(s.cfg.BroadcastDeadline, s.cfg.TimeScale, ctlDeadlineFloor))
+	req := rpc.KnowledgePull{ID: id, From: s.ep.Addr()}
+	for {
+		s.ep.Send(simnet.Addr(peer), req)
+		wait := bo.Next()
+		if rem := time.Until(deadline); wait > rem {
+			wait = rem
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-s.stop:
+			timer.Stop()
+			return
+		case raw := <-ch:
+			if rep, ok := raw.(rpc.KnowledgeReply); ok {
+				timer.Stop()
+				s.absorbKnowledge(rep.Known)
+				return
+			}
+		case <-timer.C:
+		}
+		if s.getState() == stateCrashed || !time.Now().Before(deadline) {
+			return
+		}
+	}
+}
+
+// antiEntropyLoop periodically pulls knowledge from domain peers in
+// round-robin order — the safety net that converges orphan detection
+// even when no traffic crosses a healed partition. Runs only when
+// Config.AntiEntropyEvery is positive.
+func (s *Server) antiEntropyLoop() {
+	every := ctlWall(s.cfg.AntiEntropyEvery, s.cfg.TimeScale, ctlDeadlineFloor)
+	next := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(every):
+		}
+		var peers []string
+		for _, id := range s.cfg.Domain.Members() {
+			if id != s.cfg.ID {
+				peers = append(peers, id)
+			}
+		}
+		if len(peers) == 0 {
+			continue
+		}
+		s.pullKnowledge(peers[next%len(peers)])
+		next++
+	}
+}
+
+// absorbKnowledge folds recovery information learned from any control
+// exchange into the knowledge table, logging what is new and sweeping
+// idle sessions for orphans. During MSP crash recovery the log append is
+// skipped (the analysis scan owns the log; the post-recovery checkpoint
+// snapshots the knowledge anyway) and so is the sweep (every restored
+// session is about to be replayed regardless).
+func (s *Server) absorbKnowledge(infos []dv.RecoveryInfo) {
+	if len(infos) == 0 {
+		return
+	}
+	changed := false
+	for _, info := range infos {
+		if !s.know.Record(info) {
+			continue
+		}
+		changed = true
+		if s.cfg.Logging && s.log != nil && s.getState() == stateRunning {
+			rec := logrec.RecoveryInfo{Process: string(info.Process), CrashedEpoch: info.CrashedEpoch,
+				Recovered: wal.LSN(info.Recovered)}
+			_, _, _ = s.appendRec(logrec.TRecoveryInfo, rec.Encode())
+		}
+	}
+	if changed && s.getState() == stateRunning {
+		s.sweepOrphanSessions()
+	}
+}
+
+// handleFlushRequest services a peer's flush request: dedup first, then
+// the actual flush, then a reply that piggybacks this MSP's knowledge.
+// Transient (unavailable) outcomes are not cached — the peer's
+// retransmission should observe recovery finishing, not a stale failure.
+func (s *Server) handleFlushRequest(req rpc.FlushRequest) {
+	key := ctlKey{from: req.From, id: req.ID}
+	if cached, ok := s.ctlDedup.get(key); ok {
+		metrics.Net.CtlDuplicates.Inc()
+		s.ep.Send(req.From, cached)
+		return
+	}
+	code := rpc.CtlOK
+	switch err := s.flushTo(req.SID); {
+	case err == nil:
+	case errors.Is(err, errOrphanDep):
+		code = rpc.CtlOrphan
+	default:
+		code = rpc.CtlUnavailable
+	}
+	rep := rpc.FlushReply{ID: req.ID, Code: code, Known: s.know.Snapshot()}
+	if code != rpc.CtlUnavailable {
+		s.ctlDedup.put(key, rep)
+	}
+	s.ep.Send(req.From, rep)
+}
+
+// handleRecoveryBroadcast services a peer's recovery announcement:
+// dedup, absorb the info (logging it and sweeping sessions for
+// orphans), ack with this MSP's knowledge snapshot.
+func (s *Server) handleRecoveryBroadcast(b rpc.RecoveryBroadcast) {
+	key := ctlKey{from: b.From, id: b.ID}
+	if cached, ok := s.ctlDedup.get(key); ok {
+		metrics.Net.CtlDuplicates.Inc()
+		s.ep.Send(b.From, cached)
+		return
+	}
+	s.absorbKnowledge([]dv.RecoveryInfo{b.Info})
+	rep := rpc.RecoveryAck{ID: b.ID, Known: s.know.Snapshot()}
+	s.ctlDedup.put(key, rep)
+	s.ep.Send(b.From, rep)
+}
+
+// handleKnowledgePull answers an anti-entropy pull with the current
+// knowledge snapshot. Not cached: the snapshot should be fresh.
+func (s *Server) handleKnowledgePull(p rpc.KnowledgePull) {
+	s.ep.Send(p.From, rpc.KnowledgeReply{ID: p.ID, Known: s.know.Snapshot()})
+}

@@ -3,43 +3,49 @@ package core
 import (
 	"sync"
 	"time"
-
-	"mspr/internal/dv"
-	"mspr/internal/simtime"
 )
 
 // Domain is a service domain (§1.3): a set of tightly associated MSPs
-// with fast, reliable communication. Message exchanges within a domain
-// use optimistic logging; exchanges across domains use pessimistic
-// logging. The domain is the boundary for dependency-vector propagation,
+// with fast communication. Message exchanges within a domain use
+// optimistic logging; exchanges across domains use pessimistic logging.
+// The domain is the boundary for dependency-vector propagation,
 // distributed log flushes and recovery-message broadcasts.
+//
+// The domain itself is only a membership registry. All intra-domain
+// control traffic — flush requests, recovery broadcasts, anti-entropy
+// knowledge pulls — travels over the simulated network (internal/simnet)
+// as rpc envelopes, and is therefore subject to the network's full fault
+// plane: loss, duplication, reordering, per-link faults and partitions.
 //
 // Domain membership is registry-based: a restarted Server re-registers
 // under the same ID, replacing its crashed incarnation.
 type Domain struct {
-	name      string
-	oneWay    time.Duration
-	timeScale float64
+	name   string
+	oneWay time.Duration
 
 	mu      sync.RWMutex
-	members map[string]*Server
+	members map[string]struct{}
 }
 
 // NewDomain creates a service domain. oneWay is the model one-way latency
-// of intra-domain control traffic (flush requests, recovery broadcasts);
-// the paper measures an MSP↔MSP round trip of ≈3.6 ms, i.e. 1.8 ms one
-// way.
+// of intra-domain links (control traffic and MSP↔MSP requests); the paper
+// measures an MSP↔MSP round trip of ≈3.6 ms, i.e. 1.8 ms one way. The
+// timeScale parameter is retained for call-site compatibility; latency
+// scaling is applied by the network.
 func NewDomain(name string, oneWay time.Duration, timeScale float64) *Domain {
+	_ = timeScale
 	return &Domain{
-		name:      name,
-		oneWay:    oneWay,
-		timeScale: timeScale,
-		members:   make(map[string]*Server),
+		name:    name,
+		oneWay:  oneWay,
+		members: make(map[string]struct{}),
 	}
 }
 
 // Name returns the domain's name.
 func (d *Domain) Name() string { return d.name }
+
+// OneWay returns the model one-way latency of intra-domain links.
+func (d *Domain) OneWay() time.Duration { return d.oneWay }
 
 // Contains reports whether the MSP with the given ID is a member.
 func (d *Domain) Contains(id string) bool {
@@ -60,69 +66,8 @@ func (d *Domain) Members() []string {
 	return out
 }
 
-func (d *Domain) register(s *Server) {
+func (d *Domain) register(id string) {
 	d.mu.Lock()
-	d.members[s.cfg.ID] = s
+	d.members[id] = struct{}{}
 	d.mu.Unlock()
-}
-
-func (d *Domain) lookup(id string) *Server {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.members[id]
-}
-
-// sleepLatency models one-way intra-domain control-message latency.
-func (d *Domain) sleepLatency() {
-	simtime.Sleep(time.Duration(float64(d.oneWay) * d.timeScale))
-}
-
-// flushPeer asks the member MSP id to make the state identified by sid
-// durable, charging a message round trip. It returns errOrphanDep if the
-// peer has lost that state in a crash, and errUnavailable if the peer is
-// down or unknown (the caller retries; either the peer comes back or its
-// recovery broadcast reveals the caller to be an orphan).
-func (d *Domain) flushPeer(id string, sid dv.StateID) error {
-	peer := d.lookup(id)
-	if peer == nil {
-		return errUnavailable
-	}
-	d.sleepLatency()
-	err := peer.flushTo(sid)
-	d.sleepLatency()
-	return err
-}
-
-// broadcast delivers a recovery message to every member except the
-// sender, returning each reachable peer's knowledge snapshot so the
-// recovering MSP can learn about crashes it slept through. Delivery to
-// each peer is concurrent; the call returns when all are notified.
-func (d *Domain) broadcast(from string, info dv.RecoveryInfo) []dv.RecoveryInfo {
-	d.mu.RLock()
-	peers := make([]*Server, 0, len(d.members))
-	for id, s := range d.members {
-		if id != from {
-			peers = append(peers, s)
-		}
-	}
-	d.mu.RUnlock()
-
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		learned []dv.RecoveryInfo
-	)
-	for _, p := range peers {
-		wg.Add(1)
-		go func(p *Server) {
-			defer wg.Done()
-			d.sleepLatency()
-			snap := p.onRecoveryInfo(info)
-			mu.Lock()
-			learned = append(learned, snap...)
-			mu.Unlock()
-		}(p)
-	}
-	wg.Wait()
-	return learned
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"mspr/internal/dv"
@@ -114,8 +115,12 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 	if err := s.evalCrashPoint(FPRecoveryBeforeBroadcast); err != nil {
 		return nil, err
 	}
-	// Broadcast within the service domain; peers return their knowledge
-	// so we also learn about crashes broadcast while we were down.
+	// Broadcast within the service domain, over the network: peers ack
+	// with their knowledge, so we also learn about crashes broadcast
+	// while we were down. Delivery is best-effort — a peer unreachable
+	// within the broadcast deadline (down, partitioned away) is skipped
+	// and catches up via anti-entropy on next contact; recovery must not
+	// block on a split domain.
 	//
 	// Every epoch of OURS recorded in knowledge is re-announced, not just
 	// the one that just crashed: an earlier incarnation may have made its
@@ -128,7 +133,7 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 		if own.Process != s.selfID() {
 			continue
 		}
-		learned = append(learned, s.cfg.Domain.broadcast(s.cfg.ID, own)...)
+		learned = append(learned, s.broadcastRecovery(own)...)
 	}
 	for _, l := range learned {
 		if s.know.Record(l) {
@@ -297,6 +302,12 @@ func (s *Server) replaySessionOnce(sess *Session) (restart bool, err error) {
 		switch r.(type) {
 		case replayRestart:
 			restart = true
+		case orphanAbort:
+			// An interception point during live completion found the
+			// session newly orphaned (a recovery broadcast arrived while a
+			// live call was in flight). Start replay over; the re-run
+			// truncates at the record carrying the orphan dependency.
+			restart = true
 		case crashAbort:
 			err = errUnavailable
 		default:
@@ -399,8 +410,12 @@ func (s *Server) replayRequest(ctx *Ctx, sess *Session, rec logrec.ReqReceive) {
 	sess.seq.Advance(rec.Seq)
 	if ctx.rp.switched {
 		// Live completion: deliver the reply through the normal path.
-		if !s.sendReply(sess, sess.clientAddress(), rep) {
-			panic(replayRestart{})
+		if err := s.sendReply(sess, sess.clientAddress(), rep); err != nil {
+			if errors.Is(err, errOrphanDep) {
+				panic(replayRestart{})
+			}
+			// Unreachable dependency: the reply stays buffered; the
+			// client's resend delivers it once the peer is back.
 		}
 	} else {
 		s.stats.RequestsReplayed.Add(1)

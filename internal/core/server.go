@@ -10,6 +10,7 @@ import (
 	"mspr/internal/dv"
 	"mspr/internal/failpoint"
 	"mspr/internal/logrec"
+	"mspr/internal/metrics"
 	"mspr/internal/rpc"
 	"mspr/internal/simnet"
 	"mspr/internal/wal"
@@ -104,6 +105,13 @@ type Server struct {
 
 	pending pendingCalls
 
+	// Control plane (see ctlplane.go): outgoing control-call IDs and
+	// reply routing, the server-side dedup cache, and per-peer health.
+	ctlID    atomic.Uint64
+	ctl      pendingCtl
+	ctlDedup *ctlCache
+	health   *peerHealth
+
 	bytesSinceCkpt atomic.Int64
 	ckptRunning    atomic.Bool
 	lastMSPCkpt    wal.LSN
@@ -141,6 +149,18 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 32
 	}
+	if cfg.FlushDeadline <= 0 {
+		cfg.FlushDeadline = 2 * time.Second
+	}
+	if cfg.CtlRetransmit <= 0 {
+		cfg.CtlRetransmit = 20 * time.Millisecond
+	}
+	if cfg.BroadcastDeadline <= 0 {
+		cfg.BroadcastDeadline = 500 * time.Millisecond
+	}
+	if cfg.PeerProbeEvery <= 0 {
+		cfg.PeerProbeEvery = 100 * time.Millisecond
+	}
 	s := &Server{
 		cfg:      cfg,
 		know:     dv.NewKnowledge(),
@@ -155,25 +175,43 @@ func Start(cfg Config) (*Server, error) {
 	}
 	s.epoch.Store(1) // epoch 1 is the first failure-free period
 	s.pending.m = make(map[string]chan rpc.Reply)
+	s.ctlDedup = newCtlCache(1024)
+	s.health = newPeerHealth()
 	for _, def := range cfg.Def.Shared {
 		s.shared[def.Name] = newSharedVar(s, def)
 	}
 	s.ep = cfg.Net.Endpoint(simnet.Addr(cfg.ID))
 	s.ep.SetDown(false)
+	s.registerWithDomain()
+
+	// The receive loop and worker pool start before crash recovery runs:
+	// a recovering MSP answers clients with Busy and serves domain
+	// control traffic — its own recovery broadcast needs the acks routed
+	// back to it — instead of dead-dropping everything until recovery
+	// ends. handleRequest degrades to Busy while the state is not
+	// Running.
+	s.wg.Add(1)
+	go s.receiveLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 
 	var recoveredSessions []*Session
 	if cfg.Logging {
 		if cfg.Disk == nil {
+			s.halt()
 			return nil, errors.New("core: logging requires a Disk")
 		}
 		lg, err := wal.Open(cfg.Disk, cfg.ID+".log", wal.Config{BatchTimeout: cfg.BatchFlushTimeout})
 		if err != nil {
+			s.halt()
 			return nil, err
 		}
 		s.log = lg
-		cfg.Domain.register(s)
 		anchor, ok, err := lg.ReadAnchor()
 		if err != nil {
+			s.halt()
 			return nil, fmt.Errorf("core: %s: %w", cfg.ID, err)
 		}
 		if ok {
@@ -188,19 +226,15 @@ func Start(cfg Config) (*Server, error) {
 			// Fresh start: persist an initial MSP checkpoint and anchor so
 			// the very first crash already finds a recovery starting point.
 			if err := s.writeMSPCheckpoint(); err != nil {
+				s.halt()
 				return nil, err
 			}
 		}
-	} else {
-		cfg.Domain.register(s)
 	}
 
 	s.setState(stateRunning)
-	s.wg.Add(1)
-	go s.receiveLoop()
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if cfg.Logging && cfg.AntiEntropyEvery > 0 {
+		s.goBackground(s.antiEntropyLoop)
 	}
 	// Sessions restored from the log recover in parallel (§4.3) while the
 	// MSP serves new sessions; their clients get Busy until replay ends.
@@ -342,8 +376,28 @@ func (s *Server) Shutdown() {
 	s.Crash()
 }
 
+// registerWithDomain adds this MSP to its domain's membership and gives
+// the links to every existing member the domain's model one-way latency
+// (the paper's MSP↔MSP RTT is distinct from the client↔MSP RTT).
+func (s *Server) registerWithDomain() {
+	others := s.cfg.Domain.Members()
+	s.cfg.Domain.register(s.cfg.ID)
+	ow := s.cfg.Domain.OneWay()
+	if ow <= 0 {
+		return
+	}
+	self := simnet.Addr(s.cfg.ID)
+	for _, m := range others {
+		if m != s.cfg.ID {
+			s.cfg.Net.SetLinkLatency(self, simnet.Addr(m), ow)
+		}
+	}
+}
+
 // receiveLoop dispatches network messages: requests to the worker pool,
-// replies to waiting outgoing calls.
+// replies to waiting outgoing calls, control-plane requests to handler
+// goroutines (a flush can block on the disk) and control replies to the
+// waiting control calls.
 func (s *Server) receiveLoop() {
 	defer s.wg.Done()
 	for {
@@ -351,15 +405,32 @@ func (s *Server) receiveLoop() {
 		case <-s.stop:
 			return
 		case m := <-s.ep.Recv():
+			s.noteContact(m.From)
 			switch p := m.Payload.(type) {
 			case rpc.Request:
 				select {
 				case s.reqCh <- p:
 				default:
 					// Request queue overflow: drop; the client resends.
+					metrics.Net.RequestQueueDrops.Inc()
 				}
 			case rpc.Reply:
 				s.pending.resolve(p)
+			case rpc.FlushRequest:
+				req := p
+				s.goBackground(func() { s.handleFlushRequest(req) })
+			case rpc.RecoveryBroadcast:
+				b := p
+				s.goBackground(func() { s.handleRecoveryBroadcast(b) })
+			case rpc.KnowledgePull:
+				pull := p
+				s.goBackground(func() { s.handleKnowledgePull(pull) })
+			case rpc.FlushReply:
+				s.ctl.resolve(p.ID, p)
+			case rpc.RecoveryAck:
+				s.ctl.resolve(p.ID, p)
+			case rpc.KnowledgeReply:
+				s.ctl.resolve(p.ID, p)
 			}
 		}
 	}
@@ -427,9 +498,13 @@ func (s *Server) handleRequest(req rpc.Request) {
 		return
 	case rpc.SeqDuplicate:
 		// The buffered reply may have been lost in the network or in a
-		// client crash; resend it (§3.1).
+		// client crash; resend it (§3.1). If its flush is blocked on an
+		// unreachable peer, tell the client Busy so it backs off instead
+		// of timing out.
 		if rep, ok := sess.bufferedReplyEnvelope(); ok {
-			s.sendReply(sess, req.From, rep)
+			if err := s.sendReply(sess, req.From, rep); err != nil && !errors.Is(err, errOrphanDep) {
+				s.replyBusy(req)
+			}
 		}
 		return
 	}
@@ -479,9 +554,17 @@ func (s *Server) handleRequest(req rpc.Request) {
 	}
 	sess.bufferReply(rep)
 	sess.seq.Advance(req.Seq)
-	if !s.sendReply(sess, req.From, rep) {
-		sess.releaseToRecovery()
-		s.runSessionRecovery(sess)
+	if err := s.sendReply(sess, req.From, rep); err != nil {
+		if errors.Is(err, errOrphanDep) {
+			sess.releaseToRecovery()
+			s.runSessionRecovery(sess)
+			return
+		}
+		// A dependency's peer is unreachable (partitioned or down past
+		// the flush deadline): degrade to Busy. The request executed and
+		// its reply is buffered; the client's resend fetches it through
+		// the duplicate path once the peer is reachable again.
+		s.replyBusy(req)
 		return
 	}
 	s.stats.RequestsServed.Add(1)
@@ -502,22 +585,25 @@ func (s *Server) handleRequest(req rpc.Request) {
 // sendReply transmits a reply according to the client's locality (Fig. 7):
 // intra-domain replies carry the session's DV and require no flush;
 // replies leaving the domain (all end-client replies) require a
-// distributed log flush per the session's DV first. It returns false if
-// the flush discovered the session to be an orphan (the reply is dropped
-// and the caller initiates orphan recovery).
-func (s *Server) sendReply(sess *Session, to simnet.Addr, rep rpc.Reply) bool {
+// distributed log flush per the session's DV first. A non-nil return
+// means the reply was NOT sent: errOrphanDep if the flush discovered
+// the session to be an orphan (the caller initiates orphan recovery),
+// or errUnavailable if a dependency's peer stayed unreachable within the
+// flush deadline (the caller degrades to Busy; the buffered reply is
+// delivered by the client's resend once the peer is reachable again).
+func (s *Server) sendReply(sess *Session, to simnet.Addr, rep rpc.Reply) error {
 	if s.cfg.Logging {
 		if sess.intraDomain {
 			rep.HasDV = true
 			rep.DV = sess.vecWithSelf()
 		} else {
 			if err := s.distributedFlush(sess.vecWithSelf()); err != nil {
-				return false
+				return err
 			}
 		}
 	}
 	s.reply(to, rep)
-	return true
+	return nil
 }
 
 func (s *Server) finishEndSession(sess *Session, req rpc.Request) {
@@ -528,11 +614,16 @@ func (s *Server) finishEndSession(sess *Session, req rpc.Request) {
 	rep := rpc.Reply{Session: sess.id, Seq: req.Seq, Status: rpc.StatusOK}
 	sess.bufferReply(rep)
 	sess.seq.Advance(req.Seq)
-	if s.sendReply(sess, req.From, rep) {
+	if err := s.sendReply(sess, req.From, rep); err == nil {
 		s.mu.Lock()
 		delete(s.sessions, sess.id)
 		s.mu.Unlock()
 		sess.markEnded()
+	} else if !errors.Is(err, errOrphanDep) {
+		// Unreachable dependency: the end acknowledgement could not be
+		// flushed. Keep the session; the client's resend completes the
+		// end once the peer is back.
+		s.replyBusy(req)
 	}
 }
 
@@ -646,7 +737,7 @@ func (s *Server) distributedFlush(vec dv.Vector) error {
 		}
 		mu.Unlock()
 	}
-	for p, sid := range vec {
+	for e, lsn := range vec {
 		wg.Add(1)
 		go func(p dv.ProcessID, sid dv.StateID) {
 			defer wg.Done()
@@ -663,38 +754,41 @@ func (s *Server) distributedFlush(vec dv.Vector) error {
 			if err := s.flushPeerWithRetry(p, sid); err != nil {
 				fail(err)
 			}
-		}(p, sid)
+		}(e.Process, dv.StateID{Epoch: e.Epoch, LSN: lsn})
 	}
 	wg.Wait()
 	return firstErr
 }
 
-// flushPeerWithRetry asks a peer to flush, retrying while the peer is
-// down. It converges: either the peer comes back and flushes, or the
-// peer's recovery broadcast shows the dependency to be an orphan.
+// flushPeerWithRetry asks a peer to flush over the network, bounded by
+// the configured flush deadline. It converges to one of three outcomes:
+// the peer flushes (nil), the dependency is an orphan (the peer said so,
+// or its recovery broadcast arrived meanwhile), or the peer stays
+// unreachable past the deadline (errUnavailable — the caller degrades,
+// typically to a Busy reply toward the end client, instead of hanging).
+// While a peer is marked down, calls fail fast except for one probe per
+// probe interval.
 func (s *Server) flushPeerWithRetry(p dv.ProcessID, sid dv.StateID) error {
-	backoff := time.Duration(float64(20*time.Millisecond) * s.cfg.TimeScale)
-	if backoff <= 0 {
-		backoff = 100 * time.Microsecond
-	}
-	for attempt := 0; ; attempt++ {
-		err := s.cfg.Domain.flushPeer(string(p), sid)
-		if err == nil || errors.Is(err, errOrphanDep) {
-			return err
-		}
-		// Peer down or recovering: has its broadcast already shown us to
-		// be an orphan?
-		if s.know.IsOrphan(p, sid) {
+	peer := string(p)
+	// The knowledge check first: a known crashed epoch settles the
+	// dependency locally — state beyond the recovered number is an orphan
+	// (no amount of flushing helps); state within it survived the crash
+	// and is durable forever.
+	if r, ok := s.know.Lookup(p, sid.Epoch); ok {
+		if sid.LSN > r {
 			return errOrphanDep
 		}
-		if s.getState() == stateCrashed {
-			return errUnavailable
-		}
-		if attempt > 10_000 {
-			return fmt.Errorf("core: peer %s unreachable: %w", p, errUnavailable)
-		}
-		time.Sleep(backoff)
+		return nil
 	}
+	if !s.health.allowCall(peer, s.probeEvery()) {
+		return fmt.Errorf("core: peer %s marked down: %w", p, errUnavailable)
+	}
+	err := s.callFlush(peer, sid)
+	if err != nil && errors.Is(err, errUnavailable) && s.know.IsOrphan(p, sid) {
+		// The peer's broadcast raced the deadline: orphan beats timeout.
+		return errOrphanDep
+	}
+	return err
 }
 
 // flushTo services a flush request for this MSP's own state (local part
@@ -727,29 +821,6 @@ func (s *Server) flushTo(sid dv.StateID) error {
 	default:
 		return errUnavailable
 	}
-}
-
-// onRecoveryInfo receives a peer's recovery broadcast: the MSP logs and
-// remembers the recovered state number, then checks idle sessions for
-// orphanhood (§4.1). It returns a snapshot of this MSP's own knowledge so
-// a recovering peer can catch up on broadcasts it slept through.
-func (s *Server) onRecoveryInfo(info dv.RecoveryInfo) []dv.RecoveryInfo {
-	s.mu.Lock()
-	st := s.state
-	s.mu.Unlock()
-	if st == stateCrashed {
-		return nil
-	}
-	isNew := s.know.Record(info)
-	if isNew && s.cfg.Logging && s.log != nil {
-		rec := logrec.RecoveryInfo{Process: string(info.Process), CrashedEpoch: info.CrashedEpoch,
-			Recovered: wal.LSN(info.Recovered)}
-		_, _, _ = s.appendRec(logrec.TRecoveryInfo, rec.Encode())
-	}
-	if isNew && st == stateRunning {
-		s.sweepOrphanSessions()
-	}
-	return s.know.Snapshot()
 }
 
 // sweepOrphanSessions starts orphan recovery for every idle session whose

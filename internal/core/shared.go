@@ -168,6 +168,14 @@ func (sv *SharedVar) checkpointLocked() error {
 			}
 			continue // flush the rolled-back value's dependencies instead
 		}
+		if errors.Is(err, errUnavailable) {
+			// A dependency's peer is unreachable past the flush deadline.
+			// The checkpoint is only an optimization (it breaks the
+			// backward chain), so defer it rather than failing the write
+			// that triggered it: writesSince stays over threshold and the
+			// next write retries.
+			return nil
+		}
 		return err
 	}
 	rec := logrec.SVCheckpoint{Var: sv.name, Value: sv.value}

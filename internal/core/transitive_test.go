@@ -87,8 +87,8 @@ func TestTransitiveDependencyPropagation(t *testing.T) {
 	var vec map[string]bool
 	for _, sess := range srv.sessions {
 		vec = map[string]bool{}
-		for p := range sess.vecSnapshot() {
-			vec[string(p)] = true
+		for e := range sess.vecSnapshot() {
+			vec[string(e.Process)] = true
 		}
 	}
 	srv.mu.Unlock()

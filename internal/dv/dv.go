@@ -60,11 +60,23 @@ func (s StateID) String() string {
 	return fmt.Sprintf("%d:%d", s.Epoch, s.LSN)
 }
 
-// Vector is a dependency vector: the latest known state identifier of each
-// process the owner depends on. The zero value (nil) is an empty vector.
-// Vector is not safe for concurrent use; sessions and shared variables
-// guard their vectors with their own locks.
-type Vector map[ProcessID]StateID
+// Entry names one dependency slot of a vector: a process and one of its
+// epochs. Dependencies are kept per (process, epoch), not per process: a
+// state of a later epoch does not transitively include an earlier epoch's
+// states beyond that crash's recovered state number, so collapsing a
+// vector to one entry per process could mask an orphan dependency behind
+// a newer, unrelated epoch (e.g. a shared value written before a peer's
+// crash, read after the restarted peer has already been heard from).
+type Entry struct {
+	Process ProcessID
+	Epoch   uint32
+}
+
+// Vector is a dependency vector: for each (process, epoch) the owner
+// transitively depends on, the largest LSN depended upon. The zero value
+// (nil) is an empty vector. Vector is not safe for concurrent use;
+// sessions and shared variables guard their vectors with their own locks.
+type Vector map[Entry]int64
 
 // Clone returns an independent copy of v.
 func (v Vector) Clone() Vector {
@@ -72,8 +84,8 @@ func (v Vector) Clone() Vector {
 		return nil
 	}
 	c := make(Vector, len(v))
-	for p, s := range v {
-		c[p] = s
+	for e, lsn := range v {
+		c[e] = lsn
 	}
 	return c
 }
@@ -88,22 +100,24 @@ func (v Vector) Merge(other Vector) Vector {
 	if v == nil {
 		v = make(Vector, len(other))
 	}
-	for p, s := range other {
-		if cur, ok := v[p]; !ok || cur.Less(s) {
-			v[p] = s
+	for e, lsn := range other {
+		if cur, ok := v[e]; !ok || cur < lsn {
+			v[e] = lsn
 		}
 	}
 	return v
 }
 
-// Set records the dependency on p at state s, keeping the later of s and
-// any existing entry, and returns the (possibly newly allocated) vector.
+// Set records the dependency on p at state s, keeping the larger of s.LSN
+// and any existing entry for that epoch, and returns the (possibly newly
+// allocated) vector.
 func (v Vector) Set(p ProcessID, s StateID) Vector {
 	if v == nil {
 		v = make(Vector, 1)
 	}
-	if cur, ok := v[p]; !ok || cur.Less(s) {
-		v[p] = s
+	e := Entry{Process: p, Epoch: s.Epoch}
+	if cur, ok := v[e]; !ok || cur < s.LSN {
+		v[e] = s.LSN
 	}
 	return v
 }
@@ -113,28 +127,38 @@ func (v Vector) Equal(other Vector) bool {
 	if len(v) != len(other) {
 		return false
 	}
-	for p, s := range v {
-		if o, ok := other[p]; !ok || o != s {
+	for e, lsn := range v {
+		if o, ok := other[e]; !ok || o != lsn {
 			return false
 		}
 	}
 	return true
 }
 
+// sorted returns v's entries ordered by process, then epoch.
+func (v Vector) sorted() []Entry {
+	es := make([]Entry, 0, len(v))
+	for e := range v {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Process != es[j].Process {
+			return es[i].Process < es[j].Process
+		}
+		return es[i].Epoch < es[j].Epoch
+	})
+	return es
+}
+
 // String renders the vector deterministically, e.g. "[MSP1:1:10 MSP2:1:20]".
 func (v Vector) String() string {
-	ids := make([]string, 0, len(v))
-	for p := range v {
-		ids = append(ids, string(p))
-	}
-	sort.Strings(ids)
 	var b strings.Builder
 	b.WriteByte('[')
-	for i, id := range ids {
+	for i, e := range v.sorted() {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s:%s", id, v[ProcessID(id)])
+		fmt.Fprintf(&b, "%s:%d:%d", e.Process, e.Epoch, v[e])
 	}
 	b.WriteByte(']')
 	return b.String()
@@ -143,18 +167,13 @@ func (v Vector) String() string {
 // AppendBinary encodes v onto buf in a deterministic, self-delimiting
 // format and returns the extended buffer.
 func (v Vector) AppendBinary(buf []byte) []byte {
-	ids := make([]string, 0, len(v))
-	for p := range v {
-		ids = append(ids, string(p))
-	}
-	sort.Strings(ids)
-	buf = binary.AppendUvarint(buf, uint64(len(ids)))
-	for _, id := range ids {
-		s := v[ProcessID(id)]
-		buf = binary.AppendUvarint(buf, uint64(len(id)))
-		buf = append(buf, id...)
-		buf = binary.AppendUvarint(buf, uint64(s.Epoch))
-		buf = binary.AppendVarint(buf, s.LSN)
+	es := v.sorted()
+	buf = binary.AppendUvarint(buf, uint64(len(es)))
+	for _, e := range es {
+		buf = binary.AppendUvarint(buf, uint64(len(e.Process)))
+		buf = append(buf, e.Process...)
+		buf = binary.AppendUvarint(buf, uint64(e.Epoch))
+		buf = binary.AppendVarint(buf, v[e])
 	}
 	return buf
 }
@@ -188,7 +207,10 @@ func DecodeVector(buf []byte) (Vector, []byte, error) {
 			return nil, nil, fmt.Errorf("dv: bad lsn")
 		}
 		buf = buf[k:]
-		v[id] = StateID{Epoch: uint32(e), LSN: lsn}
+		ent := Entry{Process: id, Epoch: uint32(e)}
+		if cur, ok := v[ent]; !ok || cur < lsn {
+			v[ent] = lsn
+		}
 	}
 	return v, buf, nil
 }
@@ -258,9 +280,9 @@ func (k *Knowledge) IsOrphan(p ProcessID, s StateID) bool {
 func (k *Knowledge) OrphanIn(v Vector) (ProcessID, bool) {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	for p, s := range v {
-		if r, ok := k.rec[p][s.Epoch]; ok && s.LSN > r {
-			return p, true
+	for e, lsn := range v {
+		if r, ok := k.rec[e.Process][e.Epoch]; ok && lsn > r {
+			return e.Process, true
 		}
 	}
 	return "", false

@@ -26,10 +26,10 @@ func TestStateIDOrdering(t *testing.T) {
 }
 
 func TestVectorMergeTakesMax(t *testing.T) {
-	a := Vector{"p1": {1, 10}, "p2": {1, 20}}
-	b := Vector{"p1": {1, 15}, "p3": {2, 5}}
+	a := Vector{{"p1", 1}: 10, {"p2", 1}: 20}
+	b := Vector{{"p1", 1}: 15, {"p3", 2}: 5}
 	m := a.Clone().Merge(b)
-	want := Vector{"p1": {1, 15}, "p2": {1, 20}, "p3": {2, 5}}
+	want := Vector{{"p1", 1}: 15, {"p2", 1}: 20, {"p3", 2}: 5}
 	if !m.Equal(want) {
 		t.Fatalf("merge = %v, want %v", m, want)
 	}
@@ -37,8 +37,8 @@ func TestVectorMergeTakesMax(t *testing.T) {
 
 func TestMergeIntoNil(t *testing.T) {
 	var a Vector
-	a = a.Merge(Vector{"p": {1, 1}})
-	if a["p"] != (StateID{1, 1}) {
+	a = a.Merge(Vector{{"p", 1}: 1})
+	if a[Entry{"p", 1}] != 1 {
 		t.Fatalf("merge into nil: %v", a)
 	}
 }
@@ -46,12 +46,31 @@ func TestMergeIntoNil(t *testing.T) {
 func TestSetKeepsLater(t *testing.T) {
 	v := Vector{}.Set("p", StateID{1, 10})
 	v = v.Set("p", StateID{1, 5}) // earlier: ignored
-	if v["p"] != (StateID{1, 10}) {
+	if v[Entry{"p", 1}] != 10 {
 		t.Fatalf("set regressed: %v", v)
 	}
-	v = v.Set("p", StateID{2, 1}) // later epoch wins
-	if v["p"] != (StateID{2, 1}) {
-		t.Fatalf("set did not advance epoch: %v", v)
+	v = v.Set("p", StateID{2, 1}) // later epoch: separate entry
+	if v[Entry{"p", 2}] != 1 || v[Entry{"p", 1}] != 10 {
+		t.Fatalf("set collapsed epochs: %v", v)
+	}
+}
+
+// TestMergeKeepsCrossEpochEntries is the regression for the masked-orphan
+// bug: a dependency on an older epoch of a process must survive a merge
+// into a vector that already depends on a newer epoch — the newer epoch's
+// state does not transitively include the older epoch's lost suffix, so
+// collapsing the entries would drop a live orphan dependency.
+func TestMergeKeepsCrossEpochEntries(t *testing.T) {
+	a := Vector{{"front", 2}: 9216}
+	a = a.Merge(Vector{{"front", 1}: 10240})
+	if a[Entry{"front", 1}] != 10240 || a[Entry{"front", 2}] != 9216 {
+		t.Fatalf("cross-epoch merge lost an entry: %v", a)
+	}
+	k := NewKnowledge()
+	k.Record(RecoveryInfo{Process: "front", CrashedEpoch: 1, Recovered: 9728})
+	who, orphan := k.OrphanIn(a)
+	if !orphan || who != "front" {
+		t.Fatalf("masked orphan not detected: (%v, %v) in %v", who, orphan, a)
 	}
 }
 
@@ -111,7 +130,7 @@ func TestVectorBinaryRoundTrip(t *testing.T) {
 }
 
 func TestVectorDecodeTrailing(t *testing.T) {
-	v := Vector{"p": {1, 42}}
+	v := Vector{{"p", 1}: 42}
 	buf := v.AppendBinary(nil)
 	buf = append(buf, 0xAB, 0xCD)
 	got, rest, err := DecodeVector(buf)
@@ -127,7 +146,7 @@ func TestDecodeVectorCorrupt(t *testing.T) {
 	if _, _, err := DecodeVector(nil); err == nil {
 		t.Fatal("decoding empty buffer should fail")
 	}
-	v := Vector{"process-name": {3, 999}}
+	v := Vector{{"process-name", 3}: 999}
 	buf := v.AppendBinary(nil)
 	if _, _, err := DecodeVector(buf[:len(buf)/2]); err == nil {
 		t.Fatal("decoding truncated buffer should fail")
@@ -184,7 +203,7 @@ func TestKnowledgeRecordIdempotent(t *testing.T) {
 func TestOrphanIn(t *testing.T) {
 	k := NewKnowledge()
 	k.Record(RecoveryInfo{Process: "p", CrashedEpoch: 1, Recovered: 100})
-	v := Vector{"q": {1, 999}, "p": {1, 50}}
+	v := Vector{{"q", 1}: 999, {"p", 1}: 50}
 	if _, orphan := k.OrphanIn(v); orphan {
 		t.Fatal("vector without lost deps misjudged")
 	}
@@ -217,7 +236,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 }
 
 func TestVectorStringDeterministic(t *testing.T) {
-	v := Vector{"z": {1, 1}, "a": {2, 3}}
+	v := Vector{{"z", 1}: 1, {"a", 2}: 3}
 	if got := v.String(); got != "[a:2:3 z:1:1]" {
 		t.Fatalf("String() = %q", got)
 	}

@@ -16,7 +16,7 @@ func TestDumpDecodesEveryRecordType(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vec := dv.Vector{"peer": {Epoch: 1, LSN: 42}}
+	vec := dv.Vector{{Process: "peer", Epoch: 1}: 42}
 	records := []struct {
 		typ logrec.Type
 		pay []byte

@@ -51,3 +51,43 @@ type RecoveryCounters struct {
 
 // Recovery holds the process-wide recovery counters.
 var Recovery RecoveryCounters
+
+// NetCounters is the observability surface of the simulated network and
+// the intra-domain control plane that runs over it: what the fault plane
+// dropped, what the servers shed under overload, and how the control
+// plane coped with an unreliable message layer.
+type NetCounters struct {
+	// RequestQueueDrops counts requests discarded because a server's
+	// bounded request queue was full (the client resends; previously
+	// these drops were silent).
+	RequestQueueDrops Counter
+	// PartitionDrops counts messages dropped by an active network
+	// partition.
+	PartitionDrops Counter
+	// BlockedDrops counts messages dropped by a Blocked per-link fault
+	// override.
+	BlockedDrops Counter
+	// LossDrops counts messages dropped by random loss (global rate or a
+	// per-link override).
+	LossDrops Counter
+	// CtlDuplicates counts intra-domain control requests answered from
+	// the server-side dedup cache (a retransmitted flush request or
+	// recovery broadcast whose first copy already arrived).
+	CtlDuplicates Counter
+	// FlushDeadlinesExceeded counts distributed-flush peer calls that
+	// gave up at their deadline because the peer stayed unreachable; the
+	// end client sees Busy instead of a hang.
+	FlushDeadlinesExceeded Counter
+	// PeerDownEvents counts transitions of a peer MSP from reachable to
+	// unreachable in some server's health table.
+	PeerDownEvents Counter
+	// AntiEntropyPulls counts knowledge-pull requests issued to catch up
+	// on recovery broadcasts missed during a partition or downtime.
+	AntiEntropyPulls Counter
+	// BroadcastPeersMissed counts peers a recovery broadcast could not
+	// reach before its deadline (they catch up via anti-entropy).
+	BroadcastPeersMissed Counter
+}
+
+// Net holds the process-wide network and control-plane counters.
+var Net NetCounters

@@ -80,3 +80,41 @@ func TestBusyBackoffThroughCall(t *testing.T) {
 		t.Fatalf("sent %d times, want MaxAttempts=4", busy)
 	}
 }
+
+func TestBackoffDoublesToCapNoJitter(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 0, 1)
+	wants := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range wants {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("Next #%d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("after Reset Next = %v, want 10ms", got)
+	}
+}
+
+func TestBackoffJitterBoundedAndSeeded(t *testing.T) {
+	b1 := NewBackoff(10*time.Millisecond, 160*time.Millisecond, 0.2, 7)
+	b2 := NewBackoff(10*time.Millisecond, 160*time.Millisecond, 0.2, 7)
+	base := 10 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		d1, d2 := b1.Next(), b2.Next()
+		if d1 != d2 {
+			t.Fatalf("same seed diverged at #%d: %v vs %v", i, d1, d2)
+		}
+		nominal := base
+		for j := 0; j < i && nominal < 160*time.Millisecond; j++ {
+			nominal *= 2
+		}
+		if nominal > 160*time.Millisecond {
+			nominal = 160 * time.Millisecond
+		}
+		lo := time.Duration(float64(nominal) * 0.8)
+		hi := time.Duration(float64(nominal) * 1.2)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("jitter #%d out of bounds: %v not in [%v, %v]", i, d1, lo, hi)
+		}
+	}
+}

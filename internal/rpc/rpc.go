@@ -88,6 +88,116 @@ type Reply struct {
 // request.
 var ErrRejected = errors.New("rpc: request rejected by server")
 
+// Intra-domain control-plane envelopes. The domain control plane —
+// distributed flush requests, recovery broadcasts, anti-entropy
+// knowledge pulls — travels over the same unreliable simnet as client
+// traffic, so every control request carries a sender-unique ID: the
+// sender retransmits under the same ID until a reply arrives or its
+// deadline passes, and the server dedups by (From, ID), answering a
+// retransmission from its reply cache instead of re-executing.
+
+// CtlCode is the outcome class of a control reply.
+type CtlCode byte
+
+// Control reply codes.
+const (
+	// CtlOK means the operation succeeded.
+	CtlOK CtlCode = iota
+	// CtlOrphan means the flushed dependency refers to state lost in a
+	// crash: the caller is an orphan.
+	CtlOrphan
+	// CtlUnavailable means the peer is down, recovering, or otherwise
+	// unable to serve the operation now; the caller retries.
+	CtlUnavailable
+)
+
+// FlushRequest asks a peer MSP to make its state up to SID durable
+// (one leg of a distributed log flush, §3.1).
+type FlushRequest struct {
+	ID   uint64
+	From simnet.Addr
+	SID  dv.StateID
+}
+
+// FlushReply answers a FlushRequest. Known piggybacks the replier's
+// knowledge of recovered state numbers, so every flush doubles as a
+// passive anti-entropy exchange.
+type FlushReply struct {
+	ID    uint64
+	Code  CtlCode
+	Known []dv.RecoveryInfo
+}
+
+// RecoveryBroadcast announces a recovered state number to a domain peer
+// (§4.3). Delivery is best-effort: unreachable peers catch up through
+// anti-entropy after they become reachable again.
+type RecoveryBroadcast struct {
+	ID   uint64
+	From simnet.Addr
+	Info dv.RecoveryInfo
+}
+
+// RecoveryAck acknowledges a RecoveryBroadcast, returning the replier's
+// knowledge snapshot so the recovering MSP learns about crashes it slept
+// through.
+type RecoveryAck struct {
+	ID    uint64
+	Known []dv.RecoveryInfo
+}
+
+// KnowledgePull asks a peer for its full knowledge of recovered state
+// numbers — the active half of anti-entropy, issued when a peer that was
+// unreachable becomes reachable again (or periodically, if configured).
+type KnowledgePull struct {
+	ID   uint64
+	From simnet.Addr
+}
+
+// KnowledgeReply answers a KnowledgePull.
+type KnowledgeReply struct {
+	ID    uint64
+	Known []dv.RecoveryInfo
+}
+
+// Backoff produces capped exponential retry delays with seeded jitter:
+// Base, 2·Base, 4·Base … up to Max, each multiplied by a factor drawn
+// uniformly from [1-Jitter, 1+Jitter]. The zero Jitter disables jitter;
+// a Max at or below Base disables growth. Not safe for concurrent use —
+// create one per retry loop.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Jitter float64
+
+	attempt int
+	rng     *rand.Rand
+}
+
+// NewBackoff returns a Backoff seeded deterministically from seed.
+func NewBackoff(base, max time.Duration, jitter float64, seed int64) *Backoff {
+	return &Backoff{Base: base, Max: max, Jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay before the upcoming retry and advances the
+// attempt counter.
+func (b *Backoff) Next() time.Duration {
+	d := b.Base
+	for i := 0; i < b.attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if b.Max > b.Base && d > b.Max {
+		d = b.Max
+	}
+	b.attempt++
+	if b.Jitter > 0 && b.rng != nil {
+		d = time.Duration(float64(d) * (1 + b.Jitter*(2*b.rng.Float64()-1)))
+	}
+	return d
+}
+
+// Reset restarts the backoff from Base.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
 // CallOptions tunes the resend loop.
 type CallOptions struct {
 	// ResendAfter is the model time to wait for a reply before resending

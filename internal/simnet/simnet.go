@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"mspr/internal/metrics"
 	"mspr/internal/simtime"
 )
 
@@ -50,13 +51,35 @@ type Config struct {
 	Seed int64
 }
 
-// Network is a set of endpoints sharing one fault/latency model.
+// LinkFaults overrides the network-wide fault model for one *directed*
+// link. A link with an entry uses the entry's loss/dup rates instead of
+// the global ones, adds ExtraDelay to the latency, and drops everything
+// when Blocked. Because entries are directional, asymmetric (gray)
+// failures — A reaches B but B's replies vanish — are expressed by
+// setting faults on one direction only.
+type LinkFaults struct {
+	// LossRate replaces the global loss probability on this link.
+	LossRate float64
+	// DupRate replaces the global duplication probability on this link.
+	DupRate float64
+	// ExtraDelay is added to the link's one-way latency.
+	ExtraDelay time.Duration
+	// Blocked drops every message on this link.
+	Blocked bool
+}
+
+// Network is a set of endpoints sharing one fault/latency model. Beyond
+// the static Config, the network is a runtime-mutable fault plane:
+// Partition/Heal split and rejoin endpoint groups, and SetLinkFaults
+// installs per-link, per-direction loss/dup/delay/block overrides.
 type Network struct {
 	cfg Config
 
 	mu    sync.Mutex
 	eps   map[Addr]*Endpoint
 	links map[[2]Addr]time.Duration
+	lf    map[[2]Addr]LinkFaults
+	part  map[Addr]int // partition group per addr; absent = reaches everyone
 	rng   *rand.Rand
 }
 
@@ -70,8 +93,63 @@ func New(cfg Config) *Network {
 		cfg:   cfg,
 		eps:   make(map[Addr]*Endpoint),
 		links: make(map[[2]Addr]time.Duration),
+		lf:    make(map[[2]Addr]LinkFaults),
+		part:  make(map[Addr]int),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+}
+
+// Partition splits the named addresses into isolated groups: a message
+// between addresses in different groups is dropped. Addresses not named
+// in any group keep reaching everyone (so end clients can stay connected
+// while a service domain is split). Partition replaces any previous
+// partition; Heal removes it.
+func (n *Network) Partition(groups ...[]Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.part = make(map[Addr]int)
+	for g, addrs := range groups {
+		for _, a := range addrs {
+			n.part[a] = g
+		}
+	}
+}
+
+// Heal removes the current partition. Per-link fault overrides are not
+// touched; clear those with ClearLinkFaults/ClearAllLinkFaults.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.part = make(map[Addr]int)
+}
+
+// Partitioned reports whether a partition is currently in force.
+func (n *Network) Partitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.part) > 0
+}
+
+// SetLinkFaults installs a fault override on the directed link from→to.
+// Call it twice (swapping from/to) for a symmetric fault.
+func (n *Network) SetLinkFaults(from, to Addr, f LinkFaults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lf[[2]Addr{from, to}] = f
+}
+
+// ClearLinkFaults removes the override on the directed link from→to.
+func (n *Network) ClearLinkFaults(from, to Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.lf, [2]Addr{from, to})
+}
+
+// ClearAllLinkFaults removes every per-link override.
+func (n *Network) ClearAllLinkFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lf = make(map[[2]Addr]LinkFaults)
 }
 
 // SetLinkLatency overrides the one-way latency between a and b (both
@@ -106,8 +184,9 @@ func (n *Network) Endpoint(addr Addr) *Endpoint {
 	return ep
 }
 
-// send schedules delivery of a message, applying loss, duplication,
-// latency and jitter.
+// send schedules delivery of a message, applying the partition, the
+// link's fault override (or the global loss/duplication rates), latency
+// and jitter.
 func (n *Network) send(m Message) {
 	n.mu.Lock()
 	dst, ok := n.eps[m.To]
@@ -115,11 +194,29 @@ func (n *Network) send(m Message) {
 		n.mu.Unlock()
 		return
 	}
+	if gf, okF := n.part[m.From]; okF {
+		if gt, okT := n.part[m.To]; okT && gf != gt {
+			n.mu.Unlock()
+			metrics.Net.PartitionDrops.Inc()
+			return
+		}
+	}
 	lat := n.latency(m.From, m.To)
+	loss, dup := n.cfg.LossRate, n.cfg.DupRate
+	if f, okL := n.lf[[2]Addr{m.From, m.To}]; okL {
+		if f.Blocked {
+			n.mu.Unlock()
+			metrics.Net.BlockedDrops.Inc()
+			return
+		}
+		loss, dup = f.LossRate, f.DupRate
+		lat += f.ExtraDelay
+	}
 	copies := 1
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	if loss > 0 && n.rng.Float64() < loss {
 		copies = 0
-	} else if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		metrics.Net.LossDrops.Inc()
+	} else if dup > 0 && n.rng.Float64() < dup {
 		copies = 2
 	}
 	delays := make([]time.Duration, copies)

@@ -129,3 +129,110 @@ func TestManyMessagesOrderedOnReliableInstantNetwork(t *testing.T) {
 		}
 	}
 }
+
+func expectNone(t *testing.T, ep *Endpoint, within time.Duration) {
+	t.Helper()
+	select {
+	case m := <-ep.Recv():
+		t.Fatalf("unexpected delivery %v from %s", m.Payload, m.From)
+	case <-time.After(within):
+	}
+}
+
+func TestPartitionSplitsNamedGroupsOnly(t *testing.T) {
+	n := New(Config{})
+	a, b, c := n.Endpoint("a"), n.Endpoint("b"), n.Endpoint("c")
+	n.Partition([]Addr{"a"}, []Addr{"b"})
+	if !n.Partitioned() {
+		t.Fatal("Partitioned() false after Partition")
+	}
+	a.Send("b", 1) // cut
+	b.Send("a", 2) // cut
+	c.Send("a", 3) // c is unnamed: keeps reaching both sides
+	c.Send("b", 4)
+	a.Send("c", 5)
+	if m := recvOne(t, a); m.Payload != 3 {
+		t.Fatalf("a got %v, want 3", m.Payload)
+	}
+	if m := recvOne(t, b); m.Payload != 4 {
+		t.Fatalf("b got %v, want 4", m.Payload)
+	}
+	if m := recvOne(t, c); m.Payload != 5 {
+		t.Fatalf("c got %v, want 5", m.Payload)
+	}
+	expectNone(t, a, 20*time.Millisecond)
+	expectNone(t, b, 20*time.Millisecond)
+	n.Heal()
+	if n.Partitioned() {
+		t.Fatal("Partitioned() true after Heal")
+	}
+	a.Send("b", 6)
+	if m := recvOne(t, b); m.Payload != 6 {
+		t.Fatalf("post-heal b got %v, want 6", m.Payload)
+	}
+}
+
+func TestPartitionSameGroupDelivers(t *testing.T) {
+	n := New(Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.Partition([]Addr{"a", "b"}, []Addr{"x"})
+	a.Send("b", 7)
+	if m := recvOne(t, b); m.Payload != 7 {
+		t.Fatalf("same-group delivery got %v, want 7", m.Payload)
+	}
+	n.Heal()
+}
+
+func TestLinkFaultBlockedIsDirectional(t *testing.T) {
+	n := New(Config{})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLinkFaults("a", "b", LinkFaults{Blocked: true})
+	a.Send("b", 1) // blocked direction
+	b.Send("a", 2) // reverse direction untouched
+	if m := recvOne(t, a); m.Payload != 2 {
+		t.Fatalf("a got %v, want 2", m.Payload)
+	}
+	expectNone(t, b, 20*time.Millisecond)
+	n.ClearLinkFaults("a", "b")
+	a.Send("b", 3)
+	if m := recvOne(t, b); m.Payload != 3 {
+		t.Fatalf("post-clear b got %v, want 3", m.Payload)
+	}
+}
+
+func TestLinkFaultLossAndDupOverrideGlobal(t *testing.T) {
+	// Global network is perfectly reliable; the a→b override loses
+	// everything and the b→a override duplicates everything.
+	n := New(Config{Seed: 11})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLinkFaults("a", "b", LinkFaults{LossRate: 1})
+	n.SetLinkFaults("b", "a", LinkFaults{DupRate: 1})
+	for i := 0; i < 10; i++ {
+		a.Send("b", i)
+	}
+	expectNone(t, b, 20*time.Millisecond)
+	b.Send("a", 42)
+	if m := recvOne(t, a); m.Payload != 42 {
+		t.Fatalf("a got %v, want 42", m.Payload)
+	}
+	if m := recvOne(t, a); m.Payload != 42 {
+		t.Fatalf("a got %v, want duplicated 42", m.Payload)
+	}
+	n.ClearAllLinkFaults()
+	a.Send("b", 99)
+	if m := recvOne(t, b); m.Payload != 99 {
+		t.Fatalf("post-clear b got %v, want 99", m.Payload)
+	}
+}
+
+func TestLinkFaultExtraDelay(t *testing.T) {
+	n := New(Config{TimeScale: 1.0})
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLinkFaults("a", "b", LinkFaults{ExtraDelay: 60 * time.Millisecond})
+	start := time.Now()
+	a.Send("b", 1)
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("ExtraDelay ignored: delivery after %v", elapsed)
+	}
+}
