@@ -67,7 +67,9 @@ func main() {
 		}
 		runAll()
 	}
-	srv.Shutdown()
+	if err := srv.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
 
 	sum, err := logdump.Dump(cfg.Disk, "target.log", os.Stdout)
 	if err != nil {

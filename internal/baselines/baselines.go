@@ -26,6 +26,7 @@ import (
 	"mspr/internal/core"
 	"mspr/internal/sdb"
 	"mspr/internal/simnet"
+	"mspr/internal/simtime"
 )
 
 // encodeVars serializes a session-variable map deterministically.
@@ -172,7 +173,7 @@ func (ss *StateServer) serve() {
 				ss.data[req.Session] = append([]byte(nil), req.Blob...)
 			}
 			ss.mu.Unlock()
-			ss.ep.Send(req.From, rep)
+			ss.ep.Send(req.From, rep) //mspr:flushed-by none (StateServer baseline keeps states in memory only — §5.2, the gap log-based recovery closes)
 		}
 	}
 }
@@ -258,11 +259,13 @@ func (c *StateClient) roundTrip(req ssRequest) ssReply {
 		resend = time.Millisecond
 	}
 	for {
-		c.ep.Send(c.server, req)
+		c.ep.Send(c.server, req) //mspr:flushed-by none (baseline fetch/store round trip: the baselines have no log)
+		timer := simtime.NewTimer(resend)
 		select {
 		case rep := <-ch:
+			timer.Stop()
 			return rep
-		case <-time.After(resend):
+		case <-timer.C:
 		}
 	}
 }
@@ -285,6 +288,7 @@ func (c *StateClient) Store(session string, vars map[string][]byte) {
 // paper's measured StateServer response times (≈ NoLog plus one fetch
 // round trip per MSP).
 func (c *StateClient) StoreAsync(session string, vars map[string][]byte) {
+	//mspr:flushed-by none (fire-and-forget store is the measured behaviour of the commercial baselines)
 	c.ep.Send(c.server, ssRequest{Op: ssStore, Session: session, Blob: encodeVars(vars), From: c.ep.Addr()})
 }
 

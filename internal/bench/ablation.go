@@ -87,16 +87,18 @@ func RunAblationRecovery(o Options, sessions, requestsPer int, workPerRequest ti
 	}
 
 	// Clean shutdown keeps all records durable; recovery replays them all.
-	srv.Shutdown()
-	start := time.Now()
+	if err := srv.Shutdown(); err != nil {
+		return AblationRecoveryResult{}, err
+	}
+	start := time.Now() //mspr:wallclock benchmark measures real recovery time, rescaled to model time for the report
 	srv, err = core.Start(cfg)
 	if err != nil {
 		return AblationRecoveryResult{}, err
 	}
 	for srv.RecoveringSessions() > 0 {
-		time.Sleep(100 * time.Microsecond)
+		time.Sleep(100 * time.Microsecond) //mspr:wallclock polling the background replay, which runs on OS scheduling
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //mspr:wallclock benchmark measures real recovery time, rescaled to model time for the report
 	srv.Crash()
 	return AblationRecoveryResult{
 		Serial:     serial,

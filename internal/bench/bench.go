@@ -78,7 +78,7 @@ func runOne(o Options, p workload.Params) (RunStats, error) {
 	if perClient == 0 {
 		perClient = 1
 	}
-	start := time.Now()
+	start := time.Now() //mspr:wallclock benchmark measures real elapsed time, rescaled to model time for the report
 	var wg sync.WaitGroup
 	for c := 0; c < o.Clients; c++ {
 		wg.Add(1)
@@ -100,7 +100,7 @@ func runOne(o Options, p workload.Params) (RunStats, error) {
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //mspr:wallclock benchmark measures real elapsed time, rescaled to model time for the report
 	if firstErr != nil {
 		return RunStats{}, firstErr
 	}

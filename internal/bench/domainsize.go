@@ -74,11 +74,11 @@ func runChain(o Options, depth int) (AblationDomainSizeResult, error) {
 	cs := client.Session("msp1")
 	var series metrics.Series
 	for i := 0; i < o.Requests; i++ {
-		start := time.Now()
+		start := time.Now() //mspr:wallclock benchmark measures real request latency, rescaled to model time for the report
 		if _, err := cs.Call("relay", nil); err != nil {
 			return AblationDomainSizeResult{}, err
 		}
-		series.Record(time.Since(start))
+		series.Record(time.Since(start)) //mspr:wallclock benchmark measures real request latency
 	}
 	var logBytes int64
 	for _, d := range disks {

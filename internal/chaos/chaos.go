@@ -81,7 +81,7 @@ func (r Report) String() string {
 
 // Run executes the workload under fault injection and returns the report.
 func Run(w Workload, faults []Fault, o Options) Report {
-	start := time.Now()
+	start := time.Now() //mspr:wallclock storm reports measure real elapsed time
 	rep := Report{FaultsFired: make(map[string]int)}
 	if w.Actors <= 0 || w.OpsPerActor <= 0 || w.NewActor == nil {
 		rep.Errors = append(rep.Errors, fmt.Errorf("chaos: workload needs actors, ops and a factory"))
@@ -181,7 +181,7 @@ func Run(w Workload, faults []Fault, o Options) Report {
 	}
 	rep.Ops = ops.Load()
 	rep.Errors = errs
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = time.Since(start) //mspr:wallclock storm reports measure real elapsed time
 	return rep
 }
 
@@ -222,7 +222,7 @@ func PartitionFault(name string, mu *sync.Mutex, net *simnet.Network, groups [][
 			if during != nil {
 				err = during()
 			}
-			time.Sleep(hold)
+			time.Sleep(hold) //mspr:wallclock the partition must straddle real control-plane deadlines, which are wall-clock floored
 			return err
 		},
 	}
@@ -260,9 +260,9 @@ func CrashPointFault(name string, mu *sync.Mutex, reg *failpoint.Registry, point
 				}
 				fired := reg.Hits(point) > before
 				if !fired && reg.Armed(point) {
-					deadline := time.Now().Add(time.Second)
-					for reg.Armed(point) && time.Now().Before(deadline) {
-						time.Sleep(time.Millisecond)
+					deadline := time.Now().Add(time.Second)               //mspr:wallclock bounded wait for asynchronous replay goroutines, which run on OS scheduling
+					for reg.Armed(point) && time.Now().Before(deadline) { //mspr:wallclock bounded wait for asynchronous replay goroutines
+						time.Sleep(time.Millisecond) //mspr:wallclock bounded wait for asynchronous replay goroutines
 					}
 					fired = reg.Hits(point) > before
 				}

@@ -122,7 +122,7 @@ func (cs *ClientSession) Call(method string, arg []byte) ([]byte, error) {
 		From:       cs.client.ep.Addr(),
 	}
 	payload, err := rpc.Call(func(r rpc.Request) {
-		cs.client.ep.Send(simnet.Addr(cs.target), r)
+		cs.client.ep.Send(simnet.Addr(cs.target), r) //mspr:flushed-by none (client request: end clients have no log and carry no recoverable state)
 	}, cs.replies, req, cs.client.opts)
 	if err != nil && !isTerminal(err) {
 		return nil, err
@@ -145,7 +145,7 @@ func (cs *ClientSession) End() error {
 		From:       cs.client.ep.Addr(),
 	}
 	_, err := rpc.Call(func(r rpc.Request) {
-		cs.client.ep.Send(simnet.Addr(cs.target), r)
+		cs.client.ep.Send(simnet.Addr(cs.target), r) //mspr:flushed-by none (client request: end clients have no log and carry no recoverable state)
 	}, cs.replies, req, cs.client.opts)
 	cs.ended = true
 	cs.client.mu.Lock()

@@ -352,7 +352,7 @@ func (c *Ctx) liveCall(out *outSession, method string, arg []byte) ([]byte, erro
 	}
 	for {
 		s.ep.Send(target, req)
-		timer := time.NewTimer(resend)
+		timer := simtime.NewTimer(resend)
 	waiting:
 		for {
 			select {

@@ -481,7 +481,9 @@ func TestCleanShutdownRecoversEverything(t *testing.T) {
 		mustCall(t, cs, "inc", nil)
 		mustCall(t, cs, "sharedInc", nil)
 	}
-	e.srvs["msp1"].Shutdown()
+	if err := e.srvs["msp1"].Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 	e.start("msp1", e.defs["msp1"])
 	if got := asU64(mustCall(t, cs, "inc", nil)); got != 5 {
 		t.Fatalf("after shutdown inc returned %d, want 5", got)

@@ -164,6 +164,8 @@ func (h *peerHealth) status(peer string) *peerStatus {
 
 // markDown records the peer unreachable; the first probe is allowed
 // after probeEvery. It reports whether the peer was up before.
+//
+//mspr:wallclock probe scheduling is wall-clock floored by design (see file header)
 func (h *peerHealth) markDown(peer string, probeEvery time.Duration) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -195,6 +197,8 @@ func (h *peerHealth) isDown(peer string) bool {
 // allowCall reports whether a control call against the peer should run
 // now: always for a healthy peer; for a down peer only once per probe
 // interval (the probe slot is consumed).
+//
+//mspr:wallclock probe scheduling is wall-clock floored by design (see file header)
 func (h *peerHealth) allowCall(peer string, probeEvery time.Duration) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -273,6 +277,8 @@ func (s *Server) noteContact(from simnet.Addr) {
 // the piggybacked knowledge of any reply. It returns errOrphanDep,
 // errUnavailable (deadline exceeded or peer recovering past deadline),
 // or nil.
+//
+//mspr:wallclock control-plane retransmit/deadline clocks are wall-clock floored by design (see file header)
 func (s *Server) callFlush(peer string, sid dv.StateID) error {
 	id := s.nextCtlID()
 	ch := s.ctl.register(id)
@@ -281,7 +287,7 @@ func (s *Server) callFlush(peer string, sid dv.StateID) error {
 	deadline := time.Now().Add(ctlWall(s.cfg.FlushDeadline, s.cfg.TimeScale, ctlDeadlineFloor))
 	req := rpc.FlushRequest{ID: id, From: s.ep.Addr(), SID: sid}
 	for {
-		s.ep.Send(simnet.Addr(peer), req)
+		s.ep.Send(simnet.Addr(peer), req) //mspr:flushed-by none (flush request envelope: asks the peer to flush, carries no log state)
 		wait := bo.Next()
 		if rem := time.Until(deadline); wait > rem {
 			wait = rem
@@ -373,6 +379,8 @@ func (s *Server) broadcastRecovery(info dv.RecoveryInfo) []dv.RecoveryInfo {
 
 // broadcastToPeer delivers one RecoveryBroadcast to one peer with
 // retransmission, bounded by the broadcast deadline.
+//
+//mspr:wallclock control-plane retransmit/deadline clocks are wall-clock floored by design (see file header)
 func (s *Server) broadcastToPeer(peer string, info dv.RecoveryInfo) ([]dv.RecoveryInfo, bool) {
 	id := s.nextCtlID()
 	ch := s.ctl.register(id)
@@ -381,7 +389,7 @@ func (s *Server) broadcastToPeer(peer string, info dv.RecoveryInfo) ([]dv.Recove
 	deadline := time.Now().Add(ctlWall(s.cfg.BroadcastDeadline, s.cfg.TimeScale, ctlDeadlineFloor))
 	req := rpc.RecoveryBroadcast{ID: id, From: s.ep.Addr(), Info: info}
 	for {
-		s.ep.Send(simnet.Addr(peer), req)
+		s.ep.Send(simnet.Addr(peer), req) //mspr:flushed-by none (the announced recovery info was made durable before recovery completed)
 		wait := bo.Next()
 		if rem := time.Until(deadline); wait > rem {
 			wait = rem
@@ -410,6 +418,8 @@ func (s *Server) broadcastToPeer(peer string, info dv.RecoveryInfo) ([]dv.Recove
 // pullKnowledge performs one anti-entropy knowledge pull against a peer
 // (single request, retransmitted until the broadcast deadline) and
 // absorbs whatever comes back.
+//
+//mspr:wallclock control-plane retransmit/deadline clocks are wall-clock floored by design (see file header)
 func (s *Server) pullKnowledge(peer string) {
 	metrics.Net.AntiEntropyPulls.Inc()
 	id := s.nextCtlID()
@@ -419,7 +429,7 @@ func (s *Server) pullKnowledge(peer string) {
 	deadline := time.Now().Add(ctlWall(s.cfg.BroadcastDeadline, s.cfg.TimeScale, ctlDeadlineFloor))
 	req := rpc.KnowledgePull{ID: id, From: s.ep.Addr()}
 	for {
-		s.ep.Send(simnet.Addr(peer), req)
+		s.ep.Send(simnet.Addr(peer), req) //mspr:flushed-by none (pull request envelope carries no log state)
 		wait := bo.Next()
 		if rem := time.Until(deadline); wait > rem {
 			wait = rem
@@ -450,6 +460,8 @@ func (s *Server) pullKnowledge(peer string) {
 // round-robin order — the safety net that converges orphan detection
 // even when no traffic crosses a healed partition. Runs only when
 // Config.AntiEntropyEvery is positive.
+//
+//mspr:wallclock control-plane retransmit/deadline clocks are wall-clock floored by design (see file header)
 func (s *Server) antiEntropyLoop() {
 	every := ctlWall(s.cfg.AntiEntropyEvery, s.cfg.TimeScale, ctlDeadlineFloor)
 	next := 0
@@ -508,7 +520,7 @@ func (s *Server) handleFlushRequest(req rpc.FlushRequest) {
 	key := ctlKey{from: req.From, id: req.ID}
 	if cached, ok := s.ctlDedup.get(key); ok {
 		metrics.Net.CtlDuplicates.Inc()
-		s.ep.Send(req.From, cached)
+		s.ep.Send(req.From, cached) //mspr:flushed-by flushTo (cached reply: the original was produced after its flush)
 		return
 	}
 	code := rpc.CtlOK
@@ -533,17 +545,18 @@ func (s *Server) handleRecoveryBroadcast(b rpc.RecoveryBroadcast) {
 	key := ctlKey{from: b.From, id: b.ID}
 	if cached, ok := s.ctlDedup.get(key); ok {
 		metrics.Net.CtlDuplicates.Inc()
-		s.ep.Send(b.From, cached)
+		s.ep.Send(b.From, cached) //mspr:flushed-by none (knowledge is monotone gossip, re-learnable from the recovering process itself)
 		return
 	}
 	s.absorbKnowledge([]dv.RecoveryInfo{b.Info})
 	rep := rpc.RecoveryAck{ID: b.ID, Known: s.know.Snapshot()}
 	s.ctlDedup.put(key, rep)
-	s.ep.Send(b.From, rep)
+	s.ep.Send(b.From, rep) //mspr:flushed-by none (knowledge is monotone gossip, re-learnable from the recovering process itself)
 }
 
 // handleKnowledgePull answers an anti-entropy pull with the current
 // knowledge snapshot. Not cached: the snapshot should be fresh.
 func (s *Server) handleKnowledgePull(p rpc.KnowledgePull) {
+	//mspr:flushed-by none (knowledge is monotone gossip, re-learnable from the recovering process itself)
 	s.ep.Send(p.From, rpc.KnowledgeReply{ID: p.ID, Known: s.know.Snapshot()})
 }

@@ -215,7 +215,7 @@ func (ds *DurableSession) drive(in *intent) ([]byte, error) {
 		From:       ds.c.ep.Addr(),
 	}
 	payload, err := rpc.Call(func(r rpc.Request) {
-		ds.c.ep.Send(simnet.Addr(ds.target), r)
+		ds.c.ep.Send(simnet.Addr(ds.target), r) //mspr:flushed-by none (client request: the intent was journaled by the caller before drive)
 	}, ds.replies, req, ds.c.opts)
 	if err != nil {
 		if _, ok := err.(*rpc.AppError); !ok {

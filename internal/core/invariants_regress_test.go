@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"mspr/internal/dv"
+	"mspr/internal/failpoint"
+	"mspr/internal/logrec"
+	"mspr/internal/simdisk"
+)
+
+// Regression for a dvalias violation found by mspr-vet: applyScanWrite
+// stored the decoded record's vector without Clone(), so the shared
+// variable's DV aliased the scan's record — a later Merge into either
+// mutated both, masking or inventing orphan dependencies.
+func TestApplyScanWriteClonesVector(t *testing.T) {
+	e1 := dv.Entry{Process: "p1", Epoch: 1}
+	e2 := dv.Entry{Process: "p2", Epoch: 3}
+	sv := &SharedVar{}
+	rec := logrec.SharedWrite{Var: "total", Value: u64(7), DV: dv.Vector{e1: 7}}
+	sv.applyScanWrite(rec, 10)
+
+	rec.DV[e1] = 1
+	rec.DV[e2] = 99
+	if got := sv.vec[e1]; got != 7 {
+		t.Fatalf("shared vector aliased the scan record: entry %v = %d, want 7", e1, got)
+	}
+	if _, ok := sv.vec[e2]; ok {
+		t.Fatalf("shared vector aliased the scan record: gained entry %v", e2)
+	}
+}
+
+// Regression for a walerr violation found by mspr-vet: Shutdown
+// discarded the final flush's error, reporting a clean stop even when
+// the tail never reached the disk. It must surface the failure.
+func TestShutdownReturnsFlushError(t *testing.T) {
+	e := newTestEnv(t)
+	reg := failpoint.New(1)
+	e.start("msp1", counterDef(), func(cfg *Config) { cfg.Failpoints = reg })
+	cs := e.endClient().Session("msp1")
+	mustCall(t, cs, "inc", nil)
+
+	// Fail the next three writes to the log file — exhausting the flush
+	// path's transient-error retry budget — then leave an unflushed
+	// tail: the shutdown flush must hit the injected error and report it.
+	s := e.srvs["msp1"]
+	reg.Enable(simdisk.FPWriteError+":msp1.log", failpoint.Times(3))
+	rec := logrec.RecoveryInfo{Process: "px", CrashedEpoch: 1}
+	if _, err := s.log.Append(byte(logrec.TRecoveryInfo), rec.Encode()); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := s.Shutdown(); err == nil {
+		t.Fatal("Shutdown returned nil after its final flush failed")
+	}
+}

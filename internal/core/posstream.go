@@ -56,7 +56,7 @@ func (p *posStream) spill() {
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(p.all[p.stable+i]))
 	}
 	off := int64(8 * p.stable)
-	_, _ = p.file.WriteAt(buf, off)
+	_, _ = p.file.WriteAt(buf, off) //mspr:walerr position stream models the paper's cost only; recovery rebuilds it from the analysis scan
 	sectors := (len(buf) + simdisk.SectorSize - 1) / simdisk.SectorSize
 	p.file.Disk().ChargeWrite(sectors, 0)
 	p.stable = len(p.all)
@@ -78,7 +78,7 @@ func (p *posStream) truncateAll() {
 	p.all = p.all[:0]
 	p.stable = 0
 	if p.file != nil {
-		_ = p.file.Truncate(0)
+		_ = p.file.Truncate(0) //mspr:walerr position stream models the paper's cost only; recovery rebuilds it from the analysis scan
 	}
 }
 
@@ -94,7 +94,7 @@ func (p *posStream) truncateFrom(lsn wal.LSN) {
 	if p.stable > i {
 		p.stable = i
 		if p.file != nil {
-			_ = p.file.Truncate(int64(8 * i))
+			_ = p.file.Truncate(int64(8 * i)) //mspr:walerr position stream models the paper's cost only; recovery rebuilds it from the analysis scan
 		}
 	}
 }

@@ -410,6 +410,7 @@ func (s *Server) replayRequest(ctx *Ctx, sess *Session, rec logrec.ReqReceive) {
 	sess.seq.Advance(rec.Seq)
 	if ctx.rp.switched {
 		// Live completion: deliver the reply through the normal path.
+		//mspr:flushed-by sendReply
 		if err := s.sendReply(sess, sess.clientAddress(), rep); err != nil {
 			if errors.Is(err, errOrphanDep) {
 				panic(replayRestart{})

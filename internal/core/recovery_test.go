@@ -127,7 +127,9 @@ func TestEOSRecordsSurviveMSPCrash(t *testing.T) {
 	}
 	// Flush and crash msp1: the EOS record is durable, so scan-time
 	// pruning applies. Replay must land on exactly the same state.
-	cs.e.srvs["msp1"].Shutdown()
+	if err := cs.e.srvs["msp1"].Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 	cs.e.start("msp1", cs.e.defs["msp1"])
 	if got := asU64(mustCall(t, sess, "method1", nil)); got != 6 {
 		t.Fatalf("after msp1 crash recovery request returned %d, want 6", got)

@@ -327,7 +327,7 @@ func (s *Server) halt() {
 	s.ep.SetDown(true)
 	close(s.stop)
 	if s.log != nil {
-		s.log.Close()
+		s.log.Close() //mspr:walerr halt models a crash: the buffered log tail is meant to be lost
 	}
 }
 
@@ -366,14 +366,18 @@ func (s *Server) Crash() {
 }
 
 // Shutdown stops the MSP cleanly: the log is flushed first so a
-// subsequent Start recovers the complete state.
-func (s *Server) Shutdown() {
+// subsequent Start recovers the complete state. A flush failure is
+// returned — the disk kept records the caller believed durable, and a
+// restart will recover only what actually reached it.
+func (s *Server) Shutdown() error {
+	var err error
 	if s.log != nil {
 		if last := s.log.LastAppended(); last != 0 {
-			_ = s.log.Flush(last)
+			err = s.log.Flush(last)
 		}
 	}
 	s.Crash()
+	return err
 }
 
 // registerWithDomain adds this MSP to its domain's membership and gives
@@ -450,7 +454,7 @@ func (s *Server) worker() {
 
 // reply sends a reply envelope to addr.
 func (s *Server) reply(addr simnet.Addr, rep rpc.Reply) {
-	s.ep.Send(addr, rep)
+	s.ep.Send(addr, rep) //mspr:flushed-by sendReply (state-bearing replies flush there; Busy/Rejected envelopes carry no state)
 }
 
 func (s *Server) replyBusy(req rpc.Request) {
@@ -502,6 +506,7 @@ func (s *Server) handleRequest(req rpc.Request) {
 		// unreachable peer, tell the client Busy so it backs off instead
 		// of timing out.
 		if rep, ok := sess.bufferedReplyEnvelope(); ok {
+			//mspr:flushed-by sendReply
 			if err := s.sendReply(sess, req.From, rep); err != nil && !errors.Is(err, errOrphanDep) {
 				s.replyBusy(req)
 			}
@@ -554,6 +559,7 @@ func (s *Server) handleRequest(req rpc.Request) {
 	}
 	sess.bufferReply(rep)
 	sess.seq.Advance(req.Seq)
+	//mspr:flushed-by sendReply
 	if err := s.sendReply(sess, req.From, rep); err != nil {
 		if errors.Is(err, errOrphanDep) {
 			sess.releaseToRecovery()
@@ -614,6 +620,7 @@ func (s *Server) finishEndSession(sess *Session, req rpc.Request) {
 	rep := rpc.Reply{Session: sess.id, Seq: req.Seq, Status: rpc.StatusOK}
 	sess.bufferReply(rep)
 	sess.seq.Advance(req.Seq)
+	//mspr:flushed-by sendReply
 	if err := s.sendReply(sess, req.From, rep); err == nil {
 		s.mu.Lock()
 		delete(s.sessions, sess.id)

@@ -230,7 +230,7 @@ func (sv *SharedVar) written() bool {
 func (sv *SharedVar) applyScanWrite(rec logrec.SharedWrite, lsn wal.LSN) {
 	sv.mu.Lock()
 	sv.value = append([]byte(nil), rec.Value...)
-	sv.vec = rec.DV
+	sv.vec = rec.DV.Clone()
 	sv.stateLSN = lsn
 	sv.lastWrite = lsn
 	if sv.firstWrite == 0 {

@@ -1,0 +1,126 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CodecParity guards log-record format stability: replay reads back
+// exactly what normal execution wrote, so a record struct whose encoder
+// and decoder disagree — a field added to the struct but forgotten in
+// one path — silently corrupts recovery (every later field shifts, or
+// the field replays as zero). For every struct with an
+// `Encode() []byte` method and a matching `Decode<Name>` function in
+// the same package, every exported field must be referenced by both
+// bodies. Deliberately un-encoded fields carry //mspr:codecparity.
+var CodecParity = &Analyzer{
+	Name: "codecparity",
+	Doc:  "every exported field of a log-record struct must appear in both its Encode and Decode paths",
+	Run:  runCodecParity,
+}
+
+func runCodecParity(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		encoders := make(map[string]*ast.FuncDecl) // type name -> Encode method
+		decoders := make(map[string]*ast.FuncDecl) // type name -> Decode<Name> func
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Recv != nil && fd.Name.Name == "Encode" {
+					if tn := recvTypeName(pkg.Info, fd); tn != "" {
+						encoders[tn] = fd
+					}
+				}
+				if fd.Recv == nil {
+					if tn, ok := cutPrefixName(fd.Name.Name); ok {
+						decoders[tn] = fd
+					}
+				}
+			}
+		}
+		for tn, enc := range encoders {
+			dec, ok := decoders[tn]
+			if !ok {
+				continue // not a codec pair (e.g. a different Encode)
+			}
+			obj, ok := pkg.Types.Scope().Lookup(tn).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			encRefs := fieldRefs(pkg.Info, enc.Body)
+			decRefs := fieldRefs(pkg.Info, dec.Body)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() || f.Anonymous() {
+					continue
+				}
+				missEnc := !encRefs[f]
+				missDec := !decRefs[f]
+				if !missEnc && !missDec {
+					continue
+				}
+				side := ""
+				switch {
+				case missEnc && missDec:
+					side = "Encode and " + dec.Name.Name
+				case missEnc:
+					side = "Encode"
+				default:
+					side = dec.Name.Name
+				}
+				ctx.report(pkg, f.Pos(),
+					"exported field %s.%s is not referenced by %s; encoder/decoder drift silently corrupts replay",
+					tn, f.Name(), side)
+			}
+		}
+	}
+}
+
+// recvTypeName returns the receiver's named type, or "".
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// cutPrefixName extracts T from a Decode<T> function name.
+func cutPrefixName(name string) (string, bool) {
+	const p = "Decode"
+	if len(name) <= len(p) || name[:len(p)] != p {
+		return "", false
+	}
+	return name[len(p):], true
+}
+
+// fieldRefs collects every struct field object selected in the body.
+func fieldRefs(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	refs := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s := info.Selections[sel]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				refs[v] = true
+			}
+		}
+		return true
+	})
+	return refs
+}

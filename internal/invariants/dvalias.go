@@ -1,0 +1,130 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DVAlias enforces the ownership rule behind dependency-vector
+// correctness: dv.Vector is a map, Vector.Merge mutates in place, and
+// sessions/shared variables guard their vectors with their own locks —
+// so a vector reaching a function as (part of) a parameter must never
+// be stored into a struct field or package-level variable, or returned,
+// without .Clone(). An aliased vector lets two recovery units mutate
+// each other's dependency history, which silently corrupts orphan
+// detection. The dv package itself (whose API is deliberately
+// in-place) is exempt; deliberate non-retaining exceptions carry
+// //mspr:dvalias <reason>.
+var DVAlias = &Analyzer{
+	Name: "dvalias",
+	Doc:  "forbid storing or returning a parameter-reachable dv.Vector without Clone()",
+	Run:  runDVAlias,
+}
+
+func runDVAlias(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		if pkg.ImportPath == "mspr/internal/dv" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			eachFunc(file, func(fs funcScope) {
+				checkDVScope(ctx, pkg, fs)
+			})
+		}
+	}
+}
+
+// checkDVScope flags aliasing stores and returns of vectors reachable
+// from the function's parameters or receiver.
+func checkDVScope(ctx *Context, pkg *Package, fs funcScope) {
+	rooted := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					rooted[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fs.typ.Params)
+	if fs.decl != nil && fs.body == fs.decl.Body {
+		addFields(fs.decl.Recv)
+	}
+	if len(rooted) == 0 {
+		return
+	}
+
+	// source returns the root object when e is a dv.Vector reachable
+	// from a rooted parameter: the parameter itself or a selector chain
+	// hanging off it (req.DV, rec.DV).
+	source := func(e ast.Expr) (types.Object, bool) {
+		e = ast.Unparen(e)
+		if !isNamedType(pkg.Info.TypeOf(e), "mspr/internal/dv", "Vector") {
+			return nil, false
+		}
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				obj := pkg.Info.Uses[x]
+				return obj, obj != nil && rooted[obj]
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return nil, false
+			}
+		}
+	}
+	aliasingLHS := func(lhs ast.Expr) bool {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			return true // a struct-field store outlives the call
+		case *ast.IndexExpr:
+			return true // a map/slice store outlives the call
+		case *ast.Ident:
+			obj := pkg.Info.Uses[l]
+			if obj == nil {
+				obj = pkg.Info.Defs[l]
+			}
+			return obj != nil && obj.Parent() == pkg.Types.Scope()
+		}
+		return false
+	}
+
+	ast.Inspect(fs.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals are checked as their own scope
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				obj, ok := source(rhs)
+				if !ok || !aliasingLHS(n.Lhs[i]) {
+					continue
+				}
+				ctx.report(pkg, rhs.Pos(),
+					"dv.Vector reachable from parameter %q stored without Clone(); aliased vectors corrupt orphan detection (merge mutates in place)",
+					obj.Name())
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				obj, ok := source(res)
+				if !ok {
+					continue
+				}
+				ctx.report(pkg, res.Pos(),
+					"dv.Vector reachable from parameter %q returned without Clone(); the caller may retain and mutate it",
+					obj.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,162 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FailpointNames keeps the crash surface auditable. Deterministic
+// crash-injection only works if every failpoint is (a) declared as an
+// `FP*` string constant in its package's single registry const block —
+// so the full crash surface is greppable in one place, (b) referenced
+// at a production inject site — a failpoint nobody evaluates is dead
+// weight that suggests a crash window lost its coverage, and (c)
+// exercised by a test, the chaos package or a cmd/ harness — an
+// unexercised failpoint means a crash window nobody ever fires. String
+// literals at Registry call sites are forbidden: a typo in a literal
+// silently arms nothing.
+var FailpointNames = &Analyzer{
+	Name: "failpointnames",
+	Doc:  "failpoints: one registry block, no literal names at call sites, each const injected and exercised",
+	Run:  runFailpointNames,
+}
+
+// registryNameMethods are the failpoint.Registry methods whose first
+// argument is a failpoint name.
+var registryNameMethods = map[string]bool{
+	"Eval":    true,
+	"Enable":  true,
+	"Disable": true,
+	"Armed":   true,
+	"Hits":    true,
+}
+
+type fpConst struct {
+	pkg  *Package
+	obj  types.Object
+	name string
+	pos  token.Pos
+}
+
+func runFailpointNames(ctx *Context) {
+	var consts []fpConst
+	objs := make(map[types.Object]bool)
+	names := make(map[string]bool)
+
+	// Pass 1: collect FP constants and check registry-block unity and
+	// literal-free call sites, per package.
+	for _, pkg := range ctx.Pkgs {
+		var firstBlock *ast.GenDecl
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pkg.Info.Defs[name]
+						if obj == nil || !isFPName(name.Name) || !isStringConst(obj) {
+							continue
+						}
+						if firstBlock == nil {
+							firstBlock = gd
+						} else if gd != firstBlock {
+							ctx.report(pkg, name.Pos(),
+								"failpoint constant %s declared outside the package's registry const block; keep the whole crash surface in one block",
+								name.Name)
+						}
+						consts = append(consts, fpConst{pkg: pkg, obj: obj, name: name.Name, pos: name.Pos()})
+						objs[obj] = true
+						names[name.Name] = true
+					}
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || !registryNameMethods[fn.Name()] ||
+					!isMethod(fn, "mspr/internal/failpoint", "Registry", fn.Name()) {
+					return true
+				}
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					ctx.report(pkg, lit.Pos(),
+						"failpoint name passed to Registry.%s as a string literal; use a registered FP constant (a typo here silently arms nothing)",
+						fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	if len(consts) == 0 {
+		return
+	}
+
+	// Pass 2: classify references. Production uses in chaos/cmd count as
+	// exercise, everywhere else as an inject site. Test files are parsed
+	// but not type-checked, so they are matched by identifier name.
+	injected := make(map[types.Object]bool)
+	exercised := make(map[types.Object]bool)
+	exercisedName := make(map[string]bool)
+	for _, pkg := range ctx.Pkgs {
+		harness := pkg.ImportPath == "mspr/internal/chaos" || hasPathPrefix(pkg.ImportPath, "mspr/cmd")
+		for _, obj := range pkg.Info.Uses {
+			if !objs[obj] {
+				continue
+			}
+			if harness {
+				exercised[obj] = true
+			} else {
+				injected[obj] = true
+			}
+		}
+		for _, file := range pkg.TestFiles {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+					exercisedName[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+
+	for i := range consts {
+		c := &consts[i]
+		if !injected[c.obj] {
+			ctx.report(c.pkg, c.pos,
+				"failpoint %s is never referenced at a production inject site; a failpoint nobody evaluates covers no crash window",
+				c.name)
+		}
+		if !exercised[c.obj] && !exercisedName[c.name] {
+			ctx.report(c.pkg, c.pos,
+				"failpoint %s is not exercised by any test, chaos storm or cmd/ harness",
+				c.name)
+		}
+	}
+}
+
+// isFPName reports whether the identifier follows the FP* registry
+// naming convention (FPWriteTorn, not FPS or Fprintf-alikes).
+func isFPName(name string) bool {
+	return len(name) > 2 && name[:2] == "FP" && name[2] >= 'A' && name[2] <= 'Z'
+}
+
+// isStringConst reports whether obj is a constant of string kind.
+func isStringConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	b, ok := c.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

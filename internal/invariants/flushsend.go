@@ -1,0 +1,82 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FlushBeforeSend is the paper's pessimism-at-the-boundary rule (§3.1,
+// Fig. 7) as a lint: a message that leaves the process — a reply toward
+// a client or a cross-domain message — must not be sent before the log
+// state it depends on is durable. Concretely, every call that emits a
+// message (simnet.Endpoint.Send, core.Server.sendReply) must be
+// intra-procedurally preceded by a dominating flush (wal.Log.Flush,
+// Server.distributedFlush or Server.flushTo) or carry an
+// //mspr:flushed-by <func> directive naming the wrapper that performs
+// (or deliberately omits, "none <reason>") the flush. Function literals
+// are separate scopes: a flush before `go func(){ send }()` does not
+// dominate the send inside the goroutine.
+var FlushBeforeSend = &Analyzer{
+	Name: "flushed-by",
+	Doc:  "require a dominating log flush (or //mspr:flushed-by) before every message emission",
+	Run:  runFlushBeforeSend,
+}
+
+func runFlushBeforeSend(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		if pkg.ImportPath == "mspr/internal/simnet" {
+			continue // the transport itself; Send's definition, loopbacks
+		}
+		for _, file := range pkg.Files {
+			eachFunc(file, func(fs funcScope) {
+				checkFlushScope(ctx, pkg, fs)
+			})
+		}
+	}
+}
+
+// checkFlushScope walks one function body (not descending into nested
+// literals) and reports emitter calls with no lexically preceding flush.
+func checkFlushScope(ctx *Context, pkg *Package, fs funcScope) {
+	var flushes []token.Pos
+	var emits []*ast.CallExpr
+	ast.Inspect(fs.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested literal is its own scope
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		switch {
+		case isMethod(fn, "mspr/internal/wal", "Log", "Flush"),
+			isMethod(fn, "mspr/internal/core", "Server", "distributedFlush"),
+			isMethod(fn, "mspr/internal/core", "Server", "flushTo"):
+			flushes = append(flushes, call.Pos())
+		case isMethod(fn, "mspr/internal/simnet", "Endpoint", "Send"),
+			isMethod(fn, "mspr/internal/core", "Server", "sendReply"):
+			emits = append(emits, call)
+		}
+		return true
+	})
+	for _, emit := range emits {
+		dominated := false
+		for _, fp := range flushes {
+			if fp < emit.Pos() {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		name := "Send"
+		if fn := calleeFunc(pkg.Info, emit); fn != nil {
+			name = fn.Name()
+		}
+		ctx.report(pkg, emit.Pos(),
+			"%s without a dominating log flush: flush-before-send pessimism (paper §3.1) requires wal.Log.Flush/distributedFlush first, or //mspr:flushed-by <func>",
+			name)
+	}
+}

@@ -1,0 +1,325 @@
+// Package invariants is a zero-dependency static analysis framework
+// that turns the paper's recovery-correctness rules into compile-time
+// checks. Each Analyzer encodes one protocol invariant the Go compiler
+// cannot see — pessimistic flush-before-send at domain boundaries,
+// no aliasing of dependency vectors, encoder/decoder parity for log
+// records, registered-and-exercised failpoint names, no wall-clock
+// reads outside the simulated time plane, and no dropped errors from
+// the durability layer. The cmd/mspr-vet driver loads ./... and runs
+// the suite; CI gates on a clean run.
+//
+// Findings can be suppressed — and deliberate exceptions documented —
+// with //mspr: directives in the source:
+//
+//	//mspr:wallclock <reason>       exempt a wall-clock use
+//	//mspr:flushed-by <func>        name the wrapper that performs the
+//	                                dominating flush (or "none <reason>"
+//	                                for messages carrying no state)
+//	//mspr:dvalias <reason>         exempt a vector alias
+//	//mspr:codecparity <reason>     exempt a record field
+//	//mspr:failpointnames <reason>  exempt a failpoint name
+//	//mspr:walerr <reason>          exempt a dropped durability error
+//
+// A directive trailing a statement applies to that line; a directive
+// alone on a line applies to the next line; a directive in a top-level
+// declaration's doc comment applies to the whole declaration. A
+// directive with an unknown verb or a missing argument is itself a
+// finding.
+package invariants
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant check over a set of packages.
+type Analyzer struct {
+	Name string // also the //mspr: directive verb that suppresses it
+	Doc  string
+	Run  func(ctx *Context)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Wallclock,
+		FlushBeforeSend,
+		DVAlias,
+		CodecParity,
+		FailpointNames,
+		WALErr,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; empty selects all.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("invariants: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Context is the state shared by one suite run: the loaded packages and
+// the accumulated findings.
+type Context struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	loader   *Loader
+	current  *Analyzer
+	findings []Finding
+}
+
+// Run executes the analyzers over the packages and returns all findings
+// sorted by position. Directive hygiene (unknown verbs, missing
+// arguments) is always checked.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	ctx := &Context{Fset: l.Fset, Pkgs: pkgs, loader: l}
+	ctx.checkDirectives()
+	for _, a := range analyzers {
+		ctx.current = a
+		a.Run(ctx)
+	}
+	sort.Slice(ctx.findings, func(i, j int) bool {
+		a, b := ctx.findings[i], ctx.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return ctx.findings
+}
+
+// report files a finding at pos unless a matching directive suppresses
+// it. The directive verb is the analyzer name (FlushBeforeSend uses
+// "flushed-by").
+func (ctx *Context) report(pkg *Package, pos token.Pos, format string, args ...any) {
+	if _, ok := pkg.suppressed(ctx.Fset, pos, ctx.current.Name); ok {
+		return
+	}
+	p := ctx.Fset.Position(pos)
+	ctx.findings = append(ctx.findings, Finding{
+		Analyzer: ctx.current.Name,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive is one parsed //mspr: comment.
+type Directive struct {
+	Verb string
+	Arg  string
+}
+
+// knownVerbs are the accepted directive verbs (the analyzer names).
+var knownVerbs = map[string]bool{
+	"wallclock":      true,
+	"flushed-by":     true,
+	"dvalias":        true,
+	"codecparity":    true,
+	"failpointnames": true,
+	"walerr":         true,
+}
+
+// dirIndex is a package's directive lookup structure.
+type dirIndex struct {
+	// byLine maps file -> line -> directives applying to that line.
+	byLine map[string]map[int][]Directive
+	// decls are doc-comment directives covering a line range.
+	decls []declDirective
+	// malformed directives (unknown verb / missing argument).
+	malformed []Finding
+}
+
+type declDirective struct {
+	file     string
+	from, to int
+	d        Directive
+}
+
+const directivePrefix = "//mspr:"
+
+// directives builds (once) and returns the package's directive index.
+func (p *Package) directives(l *Loader) *dirIndex {
+	if p.dirs != nil {
+		return p.dirs
+	}
+	idx := &dirIndex{byLine: make(map[string]map[int][]Directive)}
+	for _, f := range p.Files {
+		p.indexFile(l, f, idx)
+	}
+	p.dirs = idx
+	return idx
+}
+
+func (p *Package) indexFile(l *Loader, f *ast.File, idx *dirIndex) {
+	fset := l.Fset
+	// Doc-comment directives cover their whole declaration.
+	docDirs := func(doc *ast.CommentGroup, from, to token.Pos) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			d, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if bad := validateDirective(d, pos); bad != nil {
+				idx.malformed = append(idx.malformed, *bad)
+				continue
+			}
+			idx.decls = append(idx.decls, declDirective{
+				file: pos.Filename,
+				from: fset.Position(from).Line,
+				to:   fset.Position(to).Line,
+				d:    d,
+			})
+		}
+	}
+	for _, decl := range f.Decls {
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			docDirs(decl.Doc, decl.Pos(), decl.End())
+		case *ast.GenDecl:
+			docDirs(decl.Doc, decl.Pos(), decl.End())
+			for _, spec := range decl.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					docDirs(spec.Doc, spec.Pos(), spec.End())
+				case *ast.ValueSpec:
+					docDirs(spec.Doc, spec.Pos(), spec.End())
+				}
+			}
+		}
+	}
+	// Line directives: trailing -> same line, standalone -> next line.
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if bad := validateDirective(d, pos); bad != nil {
+				idx.malformed = append(idx.malformed, *bad)
+				continue
+			}
+			line := pos.Line
+			if p.standaloneComment(l, c) {
+				line++
+			}
+			m := idx.byLine[pos.Filename]
+			if m == nil {
+				m = make(map[int][]Directive)
+				idx.byLine[pos.Filename] = m
+			}
+			m[line] = append(m[line], d)
+		}
+	}
+}
+
+// standaloneComment reports whether only whitespace precedes the comment
+// on its line.
+func (p *Package) standaloneComment(l *Loader, c *ast.Comment) bool {
+	tf := l.Fset.File(c.Pos())
+	if tf == nil {
+		return false
+	}
+	pos := l.Fset.Position(c.Pos())
+	src, ok := l.src[pos.Filename]
+	if !ok {
+		return false
+	}
+	lineStart := tf.Offset(tf.LineStart(pos.Line))
+	off := tf.Offset(c.Pos())
+	if lineStart < 0 || off > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[lineStart:off])) == ""
+}
+
+func parseDirective(text string) (Directive, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return Directive{}, false
+	}
+	verb, arg, _ := strings.Cut(rest, " ")
+	return Directive{Verb: strings.TrimSpace(verb), Arg: strings.TrimSpace(arg)}, true
+}
+
+func validateDirective(d Directive, pos token.Position) *Finding {
+	if !knownVerbs[d.Verb] {
+		return &Finding{Analyzer: "directives", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: fmt.Sprintf("unknown //mspr: directive verb %q", d.Verb)}
+	}
+	if d.Arg == "" {
+		return &Finding{Analyzer: "directives", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: fmt.Sprintf("//mspr:%s needs an argument (a reason, or the flushing wrapper's name)", d.Verb)}
+	}
+	return nil
+}
+
+// suppressed reports whether a directive with the given verb covers pos.
+func (p *Package) suppressed(fset *token.FileSet, pos token.Pos, verb string) (Directive, bool) {
+	if p.dirs == nil {
+		return Directive{}, false // index is built in Run via checkDirectives
+	}
+	pp := fset.Position(pos)
+	for _, d := range p.dirs.byLine[pp.Filename][pp.Line] {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	for _, dd := range p.dirs.decls {
+		if dd.d.Verb == verb && dd.file == pp.Filename && dd.from <= pp.Line && pp.Line <= dd.to {
+			return dd.d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// checkDirectives builds every package's directive index and reports
+// malformed directives.
+func (ctx *Context) checkDirectives() {
+	for _, pkg := range ctx.Pkgs {
+		idx := pkg.directives(ctx.loader)
+		ctx.findings = append(ctx.findings, idx.malformed...)
+	}
+}

@@ -1,0 +1,126 @@
+package invariants
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the golden marks in fixture sources: want "substring".
+// Both trailing line comments and /* */ comments carry marks.
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// runFixture loads testdata/<fixture>, runs the given analyzers (plus
+// the always-on directive hygiene check) and asserts that the findings
+// and the fixture's want-marks agree exactly, in both directions.
+func runFixture(t *testing.T, fixture string, analyzers ...*Analyzer) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", fixture)
+	pkgs, err := l.Load(".", dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings := Run(l, pkgs, analyzers)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				k := key{abs, i + 1}
+				wants[k] = append(wants[k], m[1])
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.File, f.Line}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(f.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: no finding matching %q", k.file, k.line, w)
+		}
+	}
+}
+
+func TestWallclockFixture(t *testing.T)       { runFixture(t, "wallclock", Wallclock) }
+func TestFlushBeforeSendFixture(t *testing.T) { runFixture(t, "flushsend", FlushBeforeSend) }
+func TestDVAliasFixture(t *testing.T)         { runFixture(t, "dvalias", DVAlias) }
+func TestCodecParityFixture(t *testing.T)     { runFixture(t, "codecparity", CodecParity) }
+func TestFailpointNamesFixture(t *testing.T)  { runFixture(t, "failpointnames", FailpointNames) }
+func TestWALErrFixture(t *testing.T)          { runFixture(t, "walerr", WALErr) }
+
+// TestDirectivesFixture runs no analyzers at all: the malformed-directive
+// findings come from the always-on hygiene pass.
+func TestDirectivesFixture(t *testing.T) { runFixture(t, "directives") }
+
+// TestTreeIsClean runs the full suite over the whole module, the same
+// gate CI applies: the production tree must have zero findings.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(l.Root(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(l, pkgs, All()) {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("wallclock, walerr")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName(\"wallclock, walerr\") = %v, err %v", two, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("ByName(\"nonesuch\") did not fail")
+	}
+}

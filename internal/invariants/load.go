@@ -1,0 +1,267 @@
+package invariants
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Files      []*ast.File // production files (type-checked)
+	TestFiles  []*ast.File // _test.go files (parsed only, never type-checked)
+	Types      *types.Package
+	Info       *types.Info
+
+	dirs *dirIndex // lazily built directive index
+}
+
+// Loader loads and type-checks packages of the enclosing module using
+// only the standard library: go/build for file selection (so build
+// constraints like the bench package's race/!race pair are honoured),
+// go/parser for syntax, go/types for checking, and the source importer
+// for the standard library. Module-local imports are resolved against
+// the module root, recursively.
+type Loader struct {
+	Fset    *token.FileSet
+	root    string // module root directory (holds go.mod)
+	modPath string // module path from go.mod
+
+	std     types.Importer
+	pkgs    map[string]*Package // by import path; nil value = load in progress
+	src     map[string][]byte   // file name -> source (directive classification)
+	bctx    build.Context
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module starting at dir (walking up to
+// the go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("invariants: no go.mod above %s", abs)
+		}
+		root = parent
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: mod,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		src:     make(map[string][]byte),
+		bctx:    build.Default,
+		loading: make(map[string]bool),
+	}
+	return l, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("invariants: no module line in %s", gomod)
+}
+
+// Load resolves the given patterns ("./...", "./internal/core",
+// "internal/invariants/testdata/wallclock") relative to base and returns
+// the matched packages, type-checked. "..." walks subdirectories,
+// skipping testdata, vendor and hidden directories — but a pattern that
+// names a testdata directory explicitly is loaded.
+func (l *Loader) Load(base string, patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		walk := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			walk = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		start := pat
+		if !filepath.IsAbs(start) {
+			start = filepath.Join(base, pat)
+		}
+		start = filepath.Clean(start)
+		if !walk {
+			add(start)
+			continue
+		}
+		err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != start && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue // directory without Go files under a ... pattern
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("invariants: %s is outside module root %s", dir, l.root)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir loads, parses and type-checks the package in dir (cached).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("invariants: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := l.bctx.ImportDir(abs, 0)
+	if err != nil {
+		return nil, err
+	}
+	parse := func(names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			fn := filepath.Join(abs, name)
+			src, err := os.ReadFile(fn)
+			if err != nil {
+				return nil, err
+			}
+			l.src[fn] = src
+			f, err := parser.ParseFile(l.Fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	files, err := parse(bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parse(append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("invariants: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Dir:        abs,
+		ImportPath: path,
+		Files:      files,
+		TestFiles:  testFiles,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-local paths load recursively
+// from the module tree, everything else comes from the standard library's
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

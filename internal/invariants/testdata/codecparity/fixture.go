@@ -1,0 +1,65 @@
+// Package fixture exercises the codecparity analyzer: every exported
+// field of an Encode/Decode record pair must appear in both bodies.
+package fixture
+
+import "encoding/binary"
+
+// GoodRec round-trips both exported fields: clean.
+type GoodRec struct {
+	A uint32
+	B uint32
+}
+
+func (r GoodRec) Encode() []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf, r.A)
+	binary.LittleEndian.PutUint32(buf[4:], r.B)
+	return buf
+}
+
+// DecodeGoodRec parses a GoodRec payload.
+func DecodeGoodRec(p []byte) (GoodRec, error) {
+	var r GoodRec
+	r.A = binary.LittleEndian.Uint32(p)
+	r.B = binary.LittleEndian.Uint32(p[4:])
+	return r, nil
+}
+
+// DriftRec's decoder forgot B: replay would silently zero it.
+type DriftRec struct {
+	A uint32
+	B uint32 // want "not referenced by DecodeDriftRec"
+}
+
+func (r DriftRec) Encode() []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf, r.A)
+	binary.LittleEndian.PutUint32(buf[4:], r.B)
+	return buf
+}
+
+// DecodeDriftRec parses a DriftRec payload (incompletely).
+func DecodeDriftRec(p []byte) (DriftRec, error) {
+	var r DriftRec
+	r.A = binary.LittleEndian.Uint32(p)
+	return r, nil
+}
+
+// CacheRec.Hot is volatile and deliberately kept out of the codec.
+type CacheRec struct {
+	A   uint32
+	Hot bool //mspr:codecparity volatile flag, rebuilt on first access after replay
+}
+
+func (r CacheRec) Encode() []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, r.A)
+	return buf
+}
+
+// DecodeCacheRec parses a CacheRec payload.
+func DecodeCacheRec(p []byte) (CacheRec, error) {
+	var r CacheRec
+	r.A = binary.LittleEndian.Uint32(p)
+	return r, nil
+}

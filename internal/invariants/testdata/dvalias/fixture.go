@@ -1,0 +1,42 @@
+// Package fixture exercises the dvalias analyzer: a dv.Vector reachable
+// from a parameter must be Clone()d before being stored or returned.
+package fixture
+
+import "mspr/internal/dv"
+
+type holder struct {
+	vec dv.Vector
+}
+
+type record struct {
+	DV dv.Vector
+}
+
+// absorbClean clones before storing: the safe pattern.
+func (h *holder) absorbClean(rec record) {
+	h.vec = rec.DV.Clone()
+}
+
+// absorbAliased stores the caller's vector directly.
+func (h *holder) absorbAliased(rec record) {
+	h.vec = rec.DV // want "stored without Clone"
+}
+
+// passThrough returns a parameter vector to the caller.
+func passThrough(v dv.Vector) dv.Vector {
+	return v // want "returned without Clone"
+}
+
+// borrow is a documented non-retaining exception.
+func borrow(v dv.Vector) dv.Vector {
+	return v //mspr:dvalias fixture caller reads immediately and must not retain
+}
+
+// ownLocal stores a vector the function itself owns: fine.
+func (h *holder) ownLocal() {
+	own := dv.Vector{}
+	h.vec = own
+}
+
+var _ = passThrough
+var _ = borrow

@@ -1,0 +1,28 @@
+// Package fixture exercises the failpointnames analyzer: one registry
+// const block, no literal names at Registry call sites, every constant
+// both injected in production and exercised by a test or harness.
+package fixture
+
+import "mspr/internal/failpoint"
+
+// The registry block: the package's whole crash surface.
+const (
+	// FPInjected fires in production and is exercised by the fixture test.
+	FPInjected = "fixture.injected"
+	// FPDead is declared but no production code ever evaluates it.
+	FPDead = "fixture.dead" // want "never referenced at a production inject site"
+	// FPQuiet fires in production but nothing exercises it.
+	FPQuiet = "fixture.quiet" //mspr:failpointnames fixture demonstrates a suppressed unexercised point
+)
+
+// FPStray lives outside the registry block.
+const FPStray = "fixture.stray" // want "outside the package's registry const block"
+
+func hit(r *failpoint.Registry) {
+	r.Eval(FPInjected)
+	r.Eval(FPQuiet)
+	r.Eval(FPStray)
+	r.Eval("fixture.literal") // want "string literal"
+}
+
+var _ = hit

@@ -1,0 +1,13 @@
+package fixture
+
+import "testing"
+
+// TestArm exercises the failpoints (referenced here, they count as
+// covered by a test; FPQuiet is deliberately absent).
+func TestArm(t *testing.T) {
+	for _, name := range []string{FPInjected, FPDead, FPStray} {
+		if name == "" {
+			t.Fatal("empty failpoint name")
+		}
+	}
+}

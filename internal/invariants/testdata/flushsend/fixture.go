@@ -1,0 +1,45 @@
+// Package fixture exercises the flushed-by analyzer: every message
+// emission needs a lexically dominating log flush or an
+// //mspr:flushed-by directive, and a function literal is its own scope.
+package fixture
+
+import (
+	"mspr/internal/simnet"
+	"mspr/internal/wal"
+)
+
+type node struct {
+	log *wal.Log
+	ep  *simnet.Endpoint
+}
+
+// sendDurable flushes before emitting: the clean path.
+func (n *node) sendDurable(to simnet.Addr, msg any, upTo wal.LSN) error {
+	if err := n.log.Flush(upTo); err != nil {
+		return err
+	}
+	n.ep.Send(to, msg)
+	return nil
+}
+
+// sendRaw emits without any flush.
+func (n *node) sendRaw(to simnet.Addr, msg any) {
+	n.ep.Send(to, msg) // want "Send without a dominating log flush"
+}
+
+// sendAsync flushes, but the send runs in a goroutine: the flush does
+// not dominate the literal's body.
+func (n *node) sendAsync(to simnet.Addr, msg any, upTo wal.LSN) error {
+	if err := n.log.Flush(upTo); err != nil {
+		return err
+	}
+	go func() {
+		n.ep.Send(to, msg) // want "Send without a dominating log flush"
+	}()
+	return nil
+}
+
+// sendControl is a documented exception: the envelope carries no state.
+func (n *node) sendControl(to simnet.Addr, msg any) {
+	n.ep.Send(to, msg) //mspr:flushed-by none (fixture control envelope carries no log state)
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the walerr analyzer: errors from the
+// durability layer must be handled or carry //mspr:walerr.
+package fixture
+
+import (
+	"mspr/internal/simdisk"
+	"mspr/internal/wal"
+)
+
+type store struct {
+	log  *wal.Log
+	file *simdisk.File
+}
+
+// checked handles every durability error: the clean path.
+func (s *store) checked(payload []byte) error {
+	lsn, err := s.log.Append(1, payload)
+	if err != nil {
+		return err
+	}
+	return s.log.Flush(lsn)
+}
+
+// sloppy drops durability errors in every shape the analyzer knows.
+func (s *store) sloppy(payload []byte) {
+	lsn, _ := s.log.Append(1, payload) // want "error from Log.Append assigned to _"
+	_ = s.log.Flush(lsn)               // want "error from Log.Flush assigned to _"
+	s.log.WriteAnchor(wal.Anchor{})    // want "error from Log.WriteAnchor result ignored"
+	defer s.log.Close()                // want "error from Log.Close result ignored"
+	s.file.Truncate(0)                 // want "error from File.Truncate result ignored"
+}
+
+// bestEffort documents a deliberate discard.
+func (s *store) bestEffort() {
+	_ = s.file.Truncate(0) //mspr:walerr fixture file is rebuilt from the log on recovery
+}

@@ -1,0 +1,87 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method object a call invokes, or
+// nil for calls through function values, type conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isMethod reports whether fn is the named method on the named type of
+// the package with the given import path (receiver may be a pointer).
+func isMethod(fn *types.Func, pkgPath, typeName, method string) bool {
+	if fn == nil || fn.Name() != method || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// isNamedType reports whether t (after stripping pointers) is the named
+// type pkgPath.typeName.
+func isNamedType(t types.Type, pkgPath, typeName string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// funcScope is one function body under analysis: a declaration or a
+// literal, with the declaration it is nested in (for doc directives).
+type funcScope struct {
+	decl *ast.FuncDecl // nil for a literal at file scope (impossible in practice)
+	body *ast.BlockStmt
+	typ  *ast.FuncType
+}
+
+// eachFunc invokes fn for every function declaration and function
+// literal in the file. Literals report the enclosing declaration.
+func eachFunc(file *ast.File, fn func(fs funcScope)) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(funcScope{decl: fd, body: fd.Body, typ: fd.Type})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(funcScope{decl: fd, body: lit.Body, typ: lit.Type})
+			}
+			return true
+		})
+	}
+}
+
+// hasPathPrefix reports whether the import path equals prefix or is
+// nested under it.
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}

@@ -1,0 +1,141 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walErrMethods are the durability-layer calls whose error results must
+// not be dropped: (pkgPath, typeName) -> method set.
+var walErrMethods = map[[2]string]map[string]bool{
+	{"mspr/internal/wal", "Log"}: {
+		"Append":      true,
+		"Flush":       true,
+		"WriteAnchor": true,
+		"Close":       true,
+	},
+	{"mspr/internal/simdisk", "File"}: {
+		"WriteAt":  true,
+		"Truncate": true,
+	},
+}
+
+// WALErr flags discarded errors from the durability layer. The whole
+// recovery protocol rests on "if the log said it flushed, the bytes are
+// on disk" — an ignored error from wal.Log.Append/Flush/WriteAnchor or
+// the simdisk write path converts an injected (or real) disk fault into
+// silent state divergence that only surfaces as a wrong answer after
+// the next crash. Deliberate discards (best-effort paths whose loss is
+// recovered by the analysis scan) carry //mspr:walerr <reason>.
+var WALErr = &Analyzer{
+	Name: "walerr",
+	Doc:  "forbid discarding errors from wal/simdisk append, flush, anchor and truncate calls",
+	Run:  runWALErr,
+}
+
+func runWALErr(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					checkDiscardedCall(ctx, pkg, n.X, "result ignored")
+				case *ast.GoStmt:
+					checkDiscardedCall(ctx, pkg, n.Call, "result ignored (go statement)")
+				case *ast.DeferStmt:
+					checkDiscardedCall(ctx, pkg, n.Call, "result ignored (deferred)")
+				case *ast.AssignStmt:
+					checkBlankAssign(ctx, pkg, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// watchedCall returns the method a call invokes when it is in the
+// durability set.
+func watchedCall(pkg *Package, e ast.Expr) (*types.Func, *ast.CallExpr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	for key, methods := range walErrMethods {
+		if methods[fn.Name()] && isMethod(fn, key[0], key[1], fn.Name()) {
+			return fn, call
+		}
+	}
+	return nil, nil
+}
+
+func checkDiscardedCall(ctx *Context, pkg *Package, e ast.Expr, how string) {
+	fn, call := watchedCall(pkg, e)
+	if fn == nil {
+		return
+	}
+	ctx.report(pkg, call.Pos(),
+		"error from %s %s; a dropped durability error becomes silent divergence after the next crash — handle it or annotate //mspr:walerr <reason>",
+		durCallName(fn), how)
+}
+
+// checkBlankAssign flags assignments that send a watched call's error
+// result to the blank identifier.
+func checkBlankAssign(ctx *Context, pkg *Package, as *ast.AssignStmt) {
+	flag := func(call *ast.CallExpr, fn *types.Func) {
+		ctx.report(pkg, call.Pos(),
+			"error from %s assigned to _; a dropped durability error becomes silent divergence after the next crash — handle it or annotate //mspr:walerr <reason>",
+			durCallName(fn))
+	}
+	// Sole multi-result call: lsn, err := l.Append(...).
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		fn, call := watchedCall(pkg, as.Rhs[0])
+		if fn == nil {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len() && i < len(as.Lhs); i++ {
+			if !isErrorType(sig.Results().At(i).Type()) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+				flag(call, fn)
+			}
+		}
+		return
+	}
+	// 1:1 assignments: _ = l.Flush(x).
+	if len(as.Rhs) != len(as.Lhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		fn, call := watchedCall(pkg, rhs)
+		if fn == nil {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+			continue
+		}
+		if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			flag(call, fn)
+		}
+	}
+}
+
+func durCallName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	return rt.(*types.Named).Obj().Name() + "." + fn.Name()
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

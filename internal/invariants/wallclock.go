@@ -1,0 +1,58 @@
+package invariants
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the package time functions that read or schedule
+// against the wall clock. Duration arithmetic (time.Duration and the
+// unit constants) is deliberately not listed — modelling latencies is
+// fine, observing real time is not.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Wallclock forbids wall-clock time outside the simulated time plane.
+// The determinism of the simulation layers (simdisk latency charging,
+// simnet delivery, the chaos storms' reproducibility) depends on every
+// wait being routed through internal/simtime, which gives
+// microsecond-precise scaled sleeps. internal/simtime itself, _test.go
+// files and the cmd/ harnesses are exempt; any other use needs an
+// //mspr:wallclock <reason> directive.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Sleep/After/... outside internal/simtime, tests and cmd/ harnesses",
+	Run:  runWallclock,
+}
+
+func runWallclock(ctx *Context) {
+	for _, pkg := range ctx.Pkgs {
+		if pkg.ImportPath == "mspr/internal/simtime" || hasPathPrefix(pkg.ImportPath, "mspr/cmd") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+					return true
+				}
+				ctx.report(pkg, call.Pos(),
+					"wall-clock time.%s outside internal/simtime breaks sim determinism; use simtime or annotate //mspr:wallclock <reason>",
+					fn.Name())
+				return true
+			})
+		}
+	}
+}

@@ -32,7 +32,7 @@ func Dump(disk *simdisk.Disk, name string, w io.Writer) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
-	defer lg.Close()
+	defer lg.Close() //mspr:walerr read-only dump handle: nothing was appended, close failure cannot lose data
 	sum := Summary{ByType: make(map[logrec.Type]int)}
 	if a, ok, err := lg.ReadAnchor(); err == nil && ok {
 		sum.Anchor, sum.HasAnchor = a, true

@@ -311,7 +311,7 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 			return nil, fmt.Errorf("rpc: no reply to %s/%d after %d attempts", req.Session, req.Seq, opts.MaxAttempts)
 		}
 		send(req)
-		deadline := time.NewTimer(opts.scaled(opts.ResendAfter))
+		deadline := simtime.NewTimer(opts.scaled(opts.ResendAfter))
 	waiting:
 		for {
 			select {

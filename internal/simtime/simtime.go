@@ -15,6 +15,7 @@ package simtime
 
 import (
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -49,4 +50,55 @@ func After(d time.Duration, f func()) {
 		Sleep(d)
 		f()
 	}()
+}
+
+// Timer is a cancellable one-shot timer with simtime's precision: the
+// coarse bulk of the wait uses an interruptible OS timer, the tail is
+// spin-yielded. C receives exactly one value when the timer fires; a
+// stopped timer never fires.
+type Timer struct {
+	// C fires once at the deadline.
+	C <-chan struct{}
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewTimer starts a timer that fires on C after d. Non-positive
+// durations fire immediately.
+func NewTimer(d time.Duration) *Timer {
+	c := make(chan struct{}, 1)
+	t := &Timer{C: c, stop: make(chan struct{})}
+	if d <= 0 {
+		c <- struct{}{}
+		return t
+	}
+	go func() {
+		deadline := time.Now().Add(d)
+		if d > coarse {
+			bulk := time.NewTimer(d - coarse)
+			select {
+			case <-bulk.C:
+			case <-t.stop:
+				bulk.Stop()
+				return
+			}
+		}
+		for time.Now().Before(deadline) {
+			select {
+			case <-t.stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+		c <- struct{}{}
+	}()
+	return t
+}
+
+// Stop cancels the timer and releases its goroutine. Safe to call more
+// than once and after the timer fired; it does not drain C.
+func (t *Timer) Stop() {
+	t.once.Do(func() { close(t.stop) })
 }

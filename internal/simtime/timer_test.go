@@ -1,0 +1,35 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerFires(t *testing.T) {
+	tm := NewTimer(3 * time.Millisecond)
+	select {
+	case <-tm.C:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestTimerZeroFiresImmediately(t *testing.T) {
+	tm := NewTimer(0)
+	select {
+	case <-tm.C:
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	tm := NewTimer(50 * time.Millisecond)
+	tm.Stop()
+	tm.Stop() // idempotent
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	case <-time.After(200 * time.Millisecond):
+	}
+}

@@ -684,6 +684,7 @@ func (l *Log) RepairTail() bool {
 		l.durable = LSN(aligned)
 	}
 	l.mu.Unlock()
+	//mspr:walerr best-effort repair: a failed truncate leaves the torn tail for the next scan to re-detect
 	l.file.Truncate(off) // the [off, aligned) gap reads as zeros: padding
 	l.InvalidateCache()
 	metrics.Recovery.CorruptTailTruncations.Inc()
@@ -751,7 +752,7 @@ func (l *Log) WriteAnchor(a Anchor) error {
 		if hit.Arg > 0 && hit.Arg < int64(anchorSlotLen) {
 			keep = int(hit.Arg)
 		}
-		l.anchor.WriteAt(buf[:keep], off)
+		l.anchor.WriteAt(buf[:keep], off) //mspr:walerr deliberately torn injected write; ErrInjected is returned below regardless
 		l.disk.ChargeWrite(1, 0)
 		return fmt.Errorf("wal: anchor write of %q torn at %d bytes: %w", l.anchor.Name(), keep, failpoint.ErrInjected)
 	}

@@ -343,9 +343,9 @@ func (s *System) Do(cs *core.ClientSession) (time.Duration, error) {
 	if s.P.CrashEvery > 0 && n%int64(s.P.CrashEvery) == 0 {
 		s.crashArmed.Store(true)
 	}
-	start := time.Now()
+	start := time.Now() //mspr:wallclock experiment latencies are measured in real time and rescaled to model time
 	_, err := cs.Call("method1", pad(uint64(n), s.P.RequestSize))
-	return time.Since(start), err
+	return time.Since(start), err //mspr:wallclock experiment latencies are measured in real time
 }
 
 // Crashes returns the number of injected crashes completed.
