@@ -8,6 +8,16 @@
 //   - the shared in-memory total equals the number of operations,
 //   - the durable transactional ledger equals the number of operations.
 //
+// With -oracle the storm additionally records a full client/server event
+// history and runs the four correctness checkers (exactly-once, session
+// monotonicity, shared-state explainability, no-orphan-reply) over it —
+// see internal/oracle.
+//
+// Failing storms are reproducible: -trace writes the seed and the exact
+// ordered fault schedule as JSON, -replay re-fires a recorded schedule
+// verbatim, and -minimize shrinks a failing storm to the smallest
+// schedule and workload that still reproduce before writing the trace.
+//
 // Exit status is non-zero on any violation.
 package main
 
@@ -17,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,6 +35,7 @@ import (
 	"mspr/internal/core"
 	"mspr/internal/failpoint"
 	"mspr/internal/metrics"
+	"mspr/internal/oracle"
 	"mspr/internal/rpc"
 	"mspr/internal/sdb"
 	"mspr/internal/simdisk"
@@ -45,42 +57,66 @@ func asU64(b []byte) uint64 {
 	return binary.BigEndian.Uint64(b)
 }
 
-func main() {
-	actors := flag.Int("actors", 6, "concurrent client sessions")
-	ops := flag.Int("ops", 40, "operations per actor")
-	faultEvery := flag.Int("fault-every", 30, "operations between crash-restarts (0 = none)")
-	seed := flag.Int64("seed", 1, "deterministic storm seed")
-	loss := flag.Float64("loss", 0.03, "network loss rate")
-	dup := flag.Float64("dup", 0.03, "network duplication rate")
-	scale := flag.Float64("scale", 0.005, "time scale")
-	failpoints := flag.Bool("failpoints", false,
-		"arm the injected crash surface: torn log writes, anchor corruption, crashes inside recovery, mid-commit store crashes")
-	partitions := flag.Bool("partitions", false,
-		"arm the partition surface: split the service domain, crash-restart MSPs while split (recovery broadcasts lost), heal and let anti-entropy converge")
-	flag.Parse()
+// stormConfig is everything needed to build one pristine storm system —
+// the minimizer rebuilds from it for every candidate execution.
+type stormConfig struct {
+	actors, ops int
+	seed        int64
+	loss, dup   float64
+	scale       float64
+	failpoints  bool
+	partitions  bool
+	oracle      bool
+	breakDedup  bool
+}
 
+// storm is one built system: workload, fault set, the recorder (nil
+// without -oracle) and a teardown.
+type storm struct {
+	w      chaos.Workload
+	faults []chaos.Fault
+	rec    *oracle.Recorder
+	close  func()
+}
+
+// buildStorm assembles the fresh system: network, ledger, back and front
+// MSPs, client, fault plane, and (optionally) the oracle taps.
+func buildStorm(c stormConfig) (*storm, error) {
 	net := simnet.New(simnet.Config{
-		OneWay: 1798 * time.Microsecond, TimeScale: *scale,
-		LossRate: *loss, DupRate: *dup, Seed: *seed,
+		OneWay: 1798 * time.Microsecond, TimeScale: c.scale,
+		LossRate: c.loss, DupRate: c.dup, Seed: c.seed,
 	})
 
+	var rec *oracle.Recorder
+	if c.oracle {
+		rec = oracle.NewRecorder()
+	}
+
 	// Per-process failpoint registries (inert until -failpoints arms them).
-	fpFront := failpoint.New(*seed + 101)
-	fpBack := failpoint.New(*seed + 102)
-	fpLedger := failpoint.New(*seed + 103)
+	fpFront := failpoint.New(c.seed + 101)
+	fpBack := failpoint.New(c.seed + 102)
+	fpLedger := failpoint.New(c.seed + 103)
+	if c.breakDedup {
+		// Sabotage for demonstrating the oracle: every duplicate request
+		// the front MSP receives re-executes instead of being absorbed.
+		fpFront.Enable(core.FPDedupSkip, failpoint.Times(-1))
+	}
 
 	// The transactional resource manager (durable ledger).
 	rmCfg := txmsp.Config{ID: "ledger", Net: net,
-		Disk: simdisk.NewDisk(simdisk.DefaultModel(*scale)), TimeScale: *scale}
+		Disk: simdisk.NewDisk(simdisk.DefaultModel(c.scale)), TimeScale: c.scale}
 	rmCfg.Disk.SetFailpoints(fpLedger)
+	if rec != nil {
+		rmCfg.Tap = rec
+	}
 	rm, err := txmsp.Start(rmCfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
 	// front calls back (intra-domain, optimistic logging) and records the
 	// op in the durable ledger (cross-domain, pessimistic + testable tx).
-	dom := core.NewDomain("storm", 1798*time.Microsecond, *scale)
+	dom := core.NewDomain("storm", 1798*time.Microsecond, c.scale)
 	backDef := core.Definition{
 		Methods: map[string]core.Handler{
 			"mark": func(ctx *core.Ctx, _ []byte) ([]byte, error) {
@@ -115,11 +151,14 @@ func main() {
 		},
 	}
 	mkCfg := func(id string, def core.Definition, fp *failpoint.Registry) core.Config {
-		cfg := core.NewConfig(id, dom, simdisk.NewDisk(simdisk.DefaultModel(*scale)), net, def)
+		cfg := core.NewConfig(id, dom, simdisk.NewDisk(simdisk.DefaultModel(c.scale)), net, def)
 		cfg.SessionCkptThreshold = 64 << 10
-		cfg.TimeScale = *scale
+		cfg.TimeScale = c.scale
 		cfg.Failpoints = fp
-		if *partitions {
+		if rec != nil {
+			cfg.Tap = rec
+		}
+		if c.partitions {
 			// A partition storm loses recovery broadcasts; the periodic
 			// knowledge pull guarantees orphan detection converges after
 			// the heal even on a quiet link.
@@ -131,22 +170,24 @@ func main() {
 	frontCfg := mkCfg("front", frontDef, fpFront)
 	back, err := core.Start(backCfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	front, err := core.Start(frontCfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
 	// Clients in a failpoint storm use the capped exponential backoff so
 	// a recovering server sees a spread-out retry wave; the plain storm
 	// keeps the paper's fixed 100 ms backoff.
-	copts := rpc.DefaultCallOptions(*scale)
-	if *failpoints || *partitions {
-		copts = rpc.BackoffCallOptions(*scale, *seed)
+	copts := rpc.DefaultCallOptions(c.scale)
+	if c.failpoints || c.partitions {
+		copts = rpc.BackoffCallOptions(c.scale, c.seed)
 	}
 	client := core.NewClient("storm-client", net, copts)
-	defer client.Close()
+	if rec != nil {
+		client.SetTap(rec)
+	}
 
 	var procMu sync.Mutex
 	// On a failed Start (an armed point crashed recovery itself) the old
@@ -181,7 +222,7 @@ func main() {
 		chaos.RestartFault("crash-back", &procMu, restartBack),
 		chaos.RestartFault("crash-ledger", &procMu, restartLedger),
 	}
-	if *failpoints {
+	if c.failpoints {
 		faults = append(faults,
 			// Torn log writes and anchor corruption land inside the next
 			// incarnation's recovery checkpoint; the core.FPRecovery*
@@ -211,7 +252,7 @@ func main() {
 			}},
 		)
 	}
-	if *partitions {
+	if c.partitions {
 		split := [][]simnet.Addr{{"front"}, {"back"}}
 		hold := 100 * time.Millisecond
 		faults = append(faults,
@@ -227,12 +268,22 @@ func main() {
 		)
 	}
 
+	declare := func(session string, seq uint64) {
+		if rec != nil {
+			// Each op adds one to the back MSP's shared total and one to
+			// the ledger; the explainability checker balances these
+			// declarations against the finals below.
+			rec.DeclareEffect(session, seq, "back/total", 1)
+			rec.DeclareEffect(session, seq, "ledger/count", 1)
+		}
+	}
 	w := chaos.Workload{
-		Actors:      *actors,
-		OpsPerActor: *ops,
+		Actors:      c.actors,
+		OpsPerActor: c.ops,
 		NewActor: func(i int) (func(int) error, func()) {
 			sess := client.Session("front")
 			return func(n int) error {
+				declare(sess.ID(), uint64(n))
 				out, err := sess.Call("op", nil)
 				if err != nil {
 					return err
@@ -244,33 +295,163 @@ func main() {
 			}, nil
 		},
 		FinalCheck: func() error {
-			want := uint64(*actors * *ops)
+			// Collect every failure rather than stopping at the first, so
+			// a broken storm shows both the audit mismatch and the
+			// oracle's checker verdicts.
+			var errs []string
+			want := uint64(c.actors * c.ops)
 			sess := client.Session("front")
-			// Shared in-memory total at the back MSP.
-			out, err := sess.Call("op", nil) // one extra op to flush pipelines
-			if err != nil {
+			declare(sess.ID(), 1)
+			if _, err := sess.Call("op", nil); err != nil { // one extra op to flush pipelines
 				return err
 			}
-			_ = out
 			audit := client.Session("back")
 			tot, err := audit.Call("total", nil)
 			if err != nil {
 				return err
 			}
 			if asU64(tot) != want+1 {
-				return fmt.Errorf("shared total %d, want %d", asU64(tot), want+1)
+				errs = append(errs, fmt.Sprintf("shared total %d, want %d", asU64(tot), want+1))
 			}
 			procMu.Lock()
 			ledger, _ := rm.Read("count")
+			if rec != nil {
+				rm.Digest("final")
+			}
 			procMu.Unlock()
 			if asU64(ledger) != want+1 {
-				return fmt.Errorf("durable ledger %d, want %d", asU64(ledger), want+1)
+				errs = append(errs, fmt.Sprintf("durable ledger %d, want %d", asU64(ledger), want+1))
+			}
+			if rec != nil {
+				rec.FinalState("back/total", int64(asU64(tot)))
+				rec.FinalState("ledger/count", int64(asU64(ledger)))
+				if vs := rec.Check(); len(vs) != 0 {
+					for _, v := range vs {
+						fmt.Fprintln(os.Stderr, " oracle:", v)
+					}
+					errs = append(errs, fmt.Sprintf("oracle: %d violations (%d events recorded)", len(vs), rec.Len()))
+				}
+			}
+			if len(errs) > 0 {
+				return fmt.Errorf("%s", strings.Join(errs, "; "))
 			}
 			return nil
 		},
 	}
+	st := &storm{w: w, faults: faults, rec: rec}
+	st.close = func() {
+		procMu.Lock()
+		front.Crash()
+		back.Crash()
+		rm.Crash()
+		procMu.Unlock()
+		client.Close()
+	}
+	return st, nil
+}
 
-	rep := chaos.Run(w, faults, chaos.Options{Seed: *seed, FaultEvery: *faultEvery})
+func writeTrace(path string, tr chaos.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	actors := flag.Int("actors", 6, "concurrent client sessions")
+	ops := flag.Int("ops", 40, "operations per actor")
+	faultEvery := flag.Int("fault-every", 30, "operations between crash-restarts (0 = none)")
+	seed := flag.Int64("seed", 1, "deterministic storm seed")
+	loss := flag.Float64("loss", 0.03, "network loss rate")
+	dup := flag.Float64("dup", 0.03, "network duplication rate")
+	scale := flag.Float64("scale", 0.005, "time scale")
+	failpoints := flag.Bool("failpoints", false,
+		"arm the injected crash surface: torn log writes, anchor corruption, crashes inside recovery, mid-commit store crashes")
+	partitions := flag.Bool("partitions", false,
+		"arm the partition surface: split the service domain, crash-restart MSPs while split (recovery broadcasts lost), heal and let anti-entropy converge")
+	useOracle := flag.Bool("oracle", false,
+		"record the full client/server event history and run the correctness checkers over it")
+	breakDedup := flag.Bool("break-dedup", false,
+		"sabotage request deduplication at the front MSP (demonstrates the oracle catching a duplicate execution)")
+	tracePath := flag.String("trace", "", "write the storm's replayable JSON trace to this file")
+	replayPath := flag.String("replay", "", "replay the fault schedule from this JSON trace instead of generating one")
+	minimize := flag.Bool("minimize", false,
+		"on failure, shrink the storm to a minimal failing trace (written to -trace, default storm-min.json)")
+	flag.Parse()
+
+	cfg := stormConfig{
+		actors: *actors, ops: *ops, seed: *seed,
+		loss: *loss, dup: *dup, scale: *scale,
+		failpoints: *failpoints, partitions: *partitions,
+		oracle: *useOracle, breakDedup: *breakDedup,
+	}
+	// build sizes a fresh system to the candidate trace: the workload's
+	// final check compares counters against actors × ops, so a shrunken
+	// replay must get a system that expects the shrunken shape.
+	build := func(tr chaos.Trace) (chaos.Workload, []chaos.Fault, func()) {
+		c := cfg
+		if tr.Actors > 0 {
+			c.actors = tr.Actors
+		}
+		if tr.OpsPerActor > 0 {
+			c.ops = tr.OpsPerActor
+		}
+		if tr.Seed != 0 {
+			// The trace's seed drives the rebuilt system too (network
+			// loss/duplication, failpoint draws) — replaying someone
+			// else's trace must not depend on matching their -seed flag.
+			c.seed = tr.Seed
+		}
+		st, err := buildStorm(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st.w, st.faults, st.close
+	}
+
+	opts := chaos.Options{Seed: *seed, FaultEvery: *faultEvery}
+	var rep chaos.Report
+	var st *storm
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := chaos.DecodeTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %s: %d faults over %d actors x %d ops (seed %d)\n",
+			*replayPath, len(tr.Schedule), tr.Actors, tr.OpsPerActor, tr.Seed)
+		if tr.Actors > 0 {
+			cfg.actors = tr.Actors
+		}
+		if tr.OpsPerActor > 0 {
+			cfg.ops = tr.OpsPerActor
+		}
+		if tr.Seed != 0 {
+			cfg.seed = tr.Seed
+		}
+		if st, err = buildStorm(cfg); err != nil {
+			log.Fatal(err)
+		}
+		rep = chaos.Replay(st.w, st.faults, tr)
+		opts = tr.Options()
+	} else {
+		var err error
+		if st, err = buildStorm(cfg); err != nil {
+			log.Fatal(err)
+		}
+		rep = chaos.Run(st.w, st.faults, opts)
+	}
+	st.close()
+
 	fmt.Println(rep)
 	n := &metrics.Net
 	fmt.Printf("net: reqQueueDrops=%d partitionDrops=%d blockedDrops=%d lossDrops=%d\n",
@@ -278,8 +459,34 @@ func main() {
 	fmt.Printf("ctl: dups=%d flushDeadlines=%d peerDown=%d antiEntropyPulls=%d broadcastMissed=%d\n",
 		n.CtlDuplicates.Load(), n.FlushDeadlinesExceeded.Load(), n.PeerDownEvents.Load(),
 		n.AntiEntropyPulls.Load(), n.BroadcastPeersMissed.Load())
+	if st.rec != nil {
+		fmt.Printf("oracle: %d events recorded\n", st.rec.Len())
+	}
 	for _, err := range rep.Errors {
 		fmt.Fprintln(os.Stderr, " -", err)
+	}
+
+	tr := chaos.NewTrace(st.w, opts, rep)
+	if rep.Failed() && *minimize {
+		fmt.Println("minimizing failing storm...")
+		min, stats := chaos.Minimize(build, tr)
+		if stats.Reproduced {
+			min.Note = fmt.Sprintf("minimized in %d attempts from a %d-fault schedule", stats.Attempts, len(tr.Schedule))
+			tr = min
+			fmt.Printf("minimized to %d faults over %d actors x %d ops (%d attempts)\n",
+				len(min.Schedule), min.Actors, min.OpsPerActor, stats.Attempts)
+		} else {
+			fmt.Println("storm did not reproduce on re-execution; keeping the original trace")
+		}
+		if *tracePath == "" {
+			*tracePath = "storm-min.json"
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
 	}
 	if rep.Failed() {
 		os.Exit(1)

@@ -51,22 +51,46 @@ type Options struct {
 	// FaultEvery fires one fault per this many completed operations
 	// (0 disables fault injection).
 	FaultEvery int
-	// MaxFaults bounds the total faults (0 = unbounded).
+	// MaxFaults bounds the total fault attempts (0 = unbounded).
 	MaxFaults int
+	// Schedule, when non-nil, switches the scheduler to replay mode: the
+	// named faults fire verbatim in order, one per trigger, instead of
+	// being drawn from the seeded generator, and injection stops when the
+	// schedule is exhausted. A non-nil empty schedule fires nothing —
+	// that is how the minimizer tests "does it still fail with no
+	// faults". Record a schedule with Run (Report.Schedule) or load one
+	// from a Trace.
+	Schedule []string
 }
 
 // Report summarizes a storm.
 type Report struct {
-	Ops         int64
+	Ops int64
+	// Seed echoes the storm's fault-selection seed, so a report is
+	// self-describing for reproduction.
+	Seed int64
+	// Schedule is the ordered list of fault names the scheduler
+	// attempted, exactly as drawn (or replayed). Same seed + same
+	// workload → byte-identical schedule; feed it to Options.Schedule or
+	// a Trace to re-fire the identical sequence.
+	Schedule    []string
 	FaultsFired map[string]int
-	Errors      []error
-	Elapsed     time.Duration
+	// FaultErrors counts faults whose Fire returned an error. Each error
+	// is also in Errors, but injection continues past it — one sick
+	// fault must not silently shut the whole storm's fault plane off.
+	FaultErrors int
+	// DroppedTriggers counts fault triggers dropped because the workload
+	// outran the scheduler's buffer. Nonzero means the storm fired fewer
+	// faults than ops/FaultEvery promises — visible, not silent.
+	DroppedTriggers int64
+	Errors          []error
+	Elapsed         time.Duration
 }
 
 // Failed reports whether the storm uncovered any violation.
 func (r Report) Failed() bool { return len(r.Errors) > 0 }
 
-// String renders a one-line summary.
+// String renders a summary.
 func (r Report) String() string {
 	total := 0
 	for _, n := range r.FaultsFired {
@@ -76,19 +100,29 @@ func (r Report) String() string {
 	if r.Failed() {
 		status = fmt.Sprintf("FAIL (%d violations)", len(r.Errors))
 	}
-	return fmt.Sprintf("%s: %d ops, %d faults %v in %v", status, r.Ops, total, r.FaultsFired, r.Elapsed)
+	s := fmt.Sprintf("%s: %d ops, %d faults %v in %v (seed %d)",
+		status, r.Ops, total, r.FaultsFired, r.Elapsed, r.Seed)
+	if r.FaultErrors > 0 {
+		s += fmt.Sprintf(", %d fault errors", r.FaultErrors)
+	}
+	if r.DroppedTriggers > 0 {
+		s += fmt.Sprintf(", %d triggers dropped", r.DroppedTriggers)
+	}
+	s += fmt.Sprintf("\n  schedule: %v", r.Schedule)
+	return s
 }
 
 // Run executes the workload under fault injection and returns the report.
 func Run(w Workload, faults []Fault, o Options) Report {
 	start := time.Now() //mspr:wallclock storm reports measure real elapsed time
-	rep := Report{FaultsFired: make(map[string]int)}
+	rep := Report{FaultsFired: make(map[string]int), Seed: o.Seed, Schedule: []string{}}
 	if w.Actors <= 0 || w.OpsPerActor <= 0 || w.NewActor == nil {
 		rep.Errors = append(rep.Errors, fmt.Errorf("chaos: workload needs actors, ops and a factory"))
 		return rep
 	}
 	var (
 		ops     atomic.Int64
+		dropped atomic.Int64
 		mu      sync.Mutex
 		errs    []error
 		wg      sync.WaitGroup
@@ -106,8 +140,14 @@ func Run(w Workload, faults []Fault, o Options) Report {
 	// enqueues a trigger; the scheduler fires a seeded-random fault per
 	// trigger and drains pending triggers before Run returns, so a storm
 	// fires a deterministic min(MaxFaults, ops/FaultEvery) faults no
-	// matter how fast the workload outruns it.
-	injecting := o.FaultEvery > 0 && len(faults) > 0
+	// matter how fast the workload outruns it. With Options.Schedule set
+	// the seeded draw is replaced by the recorded names, in order.
+	replaying := o.Schedule != nil
+	byName := make(map[string]Fault, len(faults))
+	for _, f := range faults {
+		byName[f.Name] = f
+	}
+	injecting := o.FaultEvery > 0 && (replaying && len(o.Schedule) > 0 || !replaying && len(faults) > 0)
 	if injecting {
 		faultWG.Add(1)
 		go func() {
@@ -115,15 +155,42 @@ func Run(w Workload, faults []Fault, o Options) Report {
 			rng := rand.New(rand.NewSource(o.Seed + 1))
 			fired := 0
 			fire := func() bool {
-				f := faults[rng.Intn(len(faults))]
-				if err := f.Fire(); err != nil {
-					fail(fmt.Errorf("chaos: fault %s: %w", f.Name, err))
-					return false
+				var f Fault
+				if replaying {
+					if fired >= len(o.Schedule) {
+						return false // schedule exhausted
+					}
+					name := o.Schedule[fired]
+					var ok bool
+					if f, ok = byName[name]; !ok {
+						fail(fmt.Errorf("chaos: replay schedule names unknown fault %q", name))
+						fired++
+						mu.Lock()
+						rep.Schedule = append(rep.Schedule, name)
+						mu.Unlock()
+						return o.MaxFaults <= 0 || fired < o.MaxFaults
+					}
+				} else {
+					f = faults[rng.Intn(len(faults))]
 				}
-				mu.Lock()
-				rep.FaultsFired[f.Name]++
-				mu.Unlock()
 				fired++
+				mu.Lock()
+				rep.Schedule = append(rep.Schedule, f.Name)
+				mu.Unlock()
+				if err := f.Fire(); err != nil {
+					// Record the error and keep injecting: one sick fault
+					// must not silently disable the rest of the storm's
+					// fault plane (it used to — every later fault was
+					// skipped without a trace).
+					fail(fmt.Errorf("chaos: fault %s: %w", f.Name, err))
+					mu.Lock()
+					rep.FaultErrors++
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					rep.FaultsFired[f.Name]++
+					mu.Unlock()
+				}
 				return o.MaxFaults <= 0 || fired < o.MaxFaults
 			}
 			for {
@@ -164,7 +231,11 @@ func Run(w Workload, faults []Fault, o Options) Report {
 				if total := ops.Add(1); injecting && total%int64(o.FaultEvery) == 0 {
 					select {
 					case trigger <- struct{}{}:
-					default: // scheduler far behind: drop, don't block load
+					default:
+						// Scheduler far behind: drop rather than block the
+						// load, but count it so the report shows the storm
+						// fired fewer faults than promised.
+						dropped.Add(1)
 					}
 				}
 			}
@@ -180,6 +251,7 @@ func Run(w Workload, faults []Fault, o Options) Report {
 		}
 	}
 	rep.Ops = ops.Load()
+	rep.DroppedTriggers = dropped.Load()
 	rep.Errors = errs
 	rep.Elapsed = time.Since(start) //mspr:wallclock storm reports measure real elapsed time
 	return rep

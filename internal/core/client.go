@@ -18,6 +18,7 @@ type Client struct {
 	id   string
 	ep   *simnet.Endpoint
 	opts rpc.CallOptions
+	tap  ClientTap
 
 	mu       sync.Mutex
 	sessions map[string]*ClientSession
@@ -38,6 +39,11 @@ func NewClient(id string, net *simnet.Network, opts rpc.CallOptions) *Client {
 	go c.dispatch()
 	return c
 }
+
+// SetTap attaches the correctness oracle's client-side observation tap
+// (see internal/oracle). Call it before issuing requests; sessions share
+// the client's tap. A nil tap (the default) records nothing.
+func (c *Client) SetTap(t ClientTap) { c.tap = t }
 
 // dispatch routes replies to the waiting session.
 func (c *Client) dispatch() {
@@ -121,11 +127,26 @@ func (cs *ClientSession) Call(method string, arg []byte) ([]byte, error) {
 		NewSession: seq == 1,
 		From:       cs.client.ep.Addr(),
 	}
+	tap := cs.client.tap
+	if tap != nil {
+		tap.ClientInvoke(cs.id, method, seq, arg)
+	}
+	attempts := 0
 	payload, err := rpc.Call(func(r rpc.Request) {
+		if attempts++; tap != nil && attempts > 1 {
+			tap.ClientRetry(cs.id, seq, attempts)
+		}
 		cs.client.ep.Send(simnet.Addr(cs.target), r) //mspr:flushed-by none (client request: end clients have no log and carry no recoverable state)
 	}, cs.replies, req, cs.client.opts)
 	if err != nil && !isTerminal(err) {
 		return nil, err
+	}
+	if tap != nil {
+		if err == nil {
+			tap.ClientReply(cs.id, seq, true, payload)
+		} else if ae, ok := err.(*rpc.AppError); ok {
+			tap.ClientReply(cs.id, seq, false, []byte(ae.Msg))
+		}
 	}
 	cs.nextSeq = seq + 1
 	return payload, err

@@ -130,6 +130,13 @@ type Config struct {
 	// (core.recovery.*, core.ckpt.*, core.replay.*) against it. Nil — the
 	// default — disables injection entirely with no behavioural change.
 	Failpoints *failpoint.Registry
+	// Tap, when non-nil, attaches the correctness oracle's server-side
+	// observation tap (see internal/oracle): request executions,
+	// recoveries, session rollbacks and checkpoint state digests are
+	// reported to it. Nil — the default — reduces every tap site to one
+	// guarded nil check, adding no work and no allocations to the
+	// request hot path.
+	Tap Tap
 }
 
 // NewConfig returns a Config with the defaults used by the experiments:

@@ -283,6 +283,9 @@ func (c *Ctx) switchToLive(orphanLSN wal.LSN, haveOrphan bool) {
 	c.rp.switched = true
 	c.mode = modeNormal
 	if haveOrphan {
+		if tap := c.srv.cfg.Tap; tap != nil {
+			tap.SessionRolledBack(c.srv.cfg.ID, c.sess.id, uint64(orphanLSN))
+		}
 		skipped := c.sess.truncatePositions(orphanLSN)
 		rec := logrec.EOS{Session: c.sess.id, Orphan: orphanLSN}
 		// The EOS record needs no immediate flush and its position is not

@@ -27,6 +27,7 @@ type DurableClient struct {
 	ep   *simnet.Endpoint
 	opts rpc.CallOptions
 	file *simdisk.File
+	tap  ClientTap
 
 	mu       sync.Mutex
 	sessions map[string]*DurableSession
@@ -78,6 +79,12 @@ func NewDurableClient(id string, net *simnet.Network, disk *simdisk.Disk, opts r
 	go c.dispatch()
 	return c, nil
 }
+
+// SetTap attaches the correctness oracle's client-side observation tap
+// (see internal/oracle); re-attach it after reopening the client so a
+// resumed in-flight request's re-drive is recorded too. A nil tap (the
+// default) records nothing.
+func (c *DurableClient) SetTap(t ClientTap) { c.tap = t }
 
 func (c *DurableClient) dispatch() {
 	for {
@@ -187,7 +194,10 @@ func (ds *DurableSession) Call(method string, arg []byte) ([]byte, error) {
 	}
 	ds.pending = in
 	ds.c.mu.Unlock()
-	return ds.drive(in)
+	if tap := ds.c.tap; tap != nil {
+		tap.ClientInvoke(ds.id, method, seq, arg)
+	}
+	return ds.drive(in, false)
 }
 
 // Resume re-drives a restored in-flight request to completion, returning
@@ -200,12 +210,14 @@ func (ds *DurableSession) Resume() ([]byte, error) {
 	if in == nil {
 		return nil, errors.New("core: nothing to resume")
 	}
-	return ds.drive(in)
+	return ds.drive(in, true)
 }
 
 // drive sends the intent until a terminal reply arrives, then persists
-// completion.
-func (ds *DurableSession) drive(in *intent) ([]byte, error) {
+// completion. resumed marks a re-driven restored intent: every send of
+// it — including the first — is a retry of the original, possibly
+// pre-crash, invocation.
+func (ds *DurableSession) drive(in *intent, resumed bool) ([]byte, error) {
 	req := rpc.Request{
 		Session:    ds.id,
 		Seq:        in.seq,
@@ -214,12 +226,24 @@ func (ds *DurableSession) drive(in *intent) ([]byte, error) {
 		NewSession: in.seq == 1,
 		From:       ds.c.ep.Addr(),
 	}
+	tap := ds.c.tap
+	attempts := 0
 	payload, err := rpc.Call(func(r rpc.Request) {
+		if attempts++; tap != nil && (resumed || attempts > 1) {
+			tap.ClientRetry(ds.id, in.seq, attempts)
+		}
 		ds.c.ep.Send(simnet.Addr(ds.target), r) //mspr:flushed-by none (client request: the intent was journaled by the caller before drive)
 	}, ds.replies, req, ds.c.opts)
 	if err != nil {
 		if _, ok := err.(*rpc.AppError); !ok {
 			return nil, err // transport-level failure: intent stays pending
+		}
+	}
+	if tap != nil {
+		if err == nil {
+			tap.ClientReply(ds.id, in.seq, true, payload)
+		} else if ae, ok := err.(*rpc.AppError); ok {
+			tap.ClientReply(ds.id, in.seq, false, []byte(ae.Msg))
 		}
 	}
 	ds.c.mu.Lock()

@@ -159,6 +159,17 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 		sessions = append(sessions, sess)
 	}
 	metrics.Recovery.RecoveriesCompleted.Inc()
+	if tap := s.cfg.Tap; tap != nil {
+		// Every own crashed epoch is reported, not just the one that just
+		// crashed: an earlier run of this recovery may have made its
+		// recovered state number durable and died before reaching this
+		// tap, and the oracle must still learn what that epoch lost.
+		for _, own := range s.know.Snapshot() {
+			if own.Process == s.selfID() {
+				tap.ServerRecovered(s.cfg.ID, own.CrashedEpoch, uint64(own.Recovered), s.epoch.Load())
+			}
+		}
+	}
 	return sessions, nil
 }
 
@@ -370,7 +381,7 @@ func (s *Server) replaySessionOnce(sess *Session) (restart bool, err error) {
 			}
 			rp.idx++
 			sess.replayReceive(lsn, rec.DV)
-			s.replayRequest(ctx, sess, rec)
+			s.replayRequest(ctx, sess, rec, lsn)
 			if rp.switched {
 				return false, nil
 			}
@@ -385,11 +396,12 @@ func (s *Server) replaySessionOnce(sess *Session) (restart bool, err error) {
 	return false, nil
 }
 
-// replayRequest re-executes one logged request. If replay switches to
-// live execution mid-method (orphan found or log exhausted), the method
-// completes for real and its reply is sent; otherwise the regenerated
-// reply is only buffered — the client's resend will fetch it.
-func (s *Server) replayRequest(ctx *Ctx, sess *Session, rec logrec.ReqReceive) {
+// replayRequest re-executes one logged request from its receive record
+// at lsn. If replay switches to live execution mid-method (orphan found
+// or log exhausted), the method completes for real and its reply is
+// sent; otherwise the regenerated reply is only buffered — the client's
+// resend will fetch it.
+func (s *Server) replayRequest(ctx *Ctx, sess *Session, rec logrec.ReqReceive, lsn wal.LSN) {
 	if rec.Method == "" {
 		return
 	}
@@ -408,6 +420,13 @@ func (s *Server) replayRequest(ctx *Ctx, sess *Session, rec logrec.ReqReceive) {
 	}
 	sess.bufferReply(rep)
 	sess.seq.Advance(rec.Seq)
+	if tap := s.cfg.Tap; tap != nil {
+		// Always a replayed execution, even when the method completed
+		// live: the receive record at lsn was already reported by the
+		// incarnation that first executed it, and a live completion only
+		// finishes that same execution.
+		tap.RequestExecuted(s.cfg.ID, sess.id, rec.Seq, s.epoch.Load(), uint64(lsn), rep.Payload, true)
+	}
 	if ctx.rp.switched {
 		// Live completion: deliver the reply through the normal path.
 		//mspr:flushed-by sendReply

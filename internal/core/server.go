@@ -48,6 +48,13 @@ const (
 	// FPReplayMidSession crashes session replay (§4.1) between two
 	// replayed records.
 	FPReplayMidSession = "core.replay.mid-session"
+	// FPDedupSkip does not crash anything: while armed, a request
+	// classified as a duplicate is executed as if it were new —
+	// deliberately broken duplicate detection. It exists so the
+	// correctness oracle's exactly-once checker can be demonstrated to
+	// fail (and a failing storm minimized) against a known-broken server;
+	// nothing arms it outside tests and cmd/mspr-chaos -break-dedup.
+	FPDedupSkip = "core.dedup.skip"
 )
 
 // Sentinel errors used across the recovery protocol.
@@ -497,6 +504,11 @@ func (s *Server) handleRequest(req rpc.Request) {
 		// handlers over durable state); execute every delivery.
 		classification = rpc.SeqNew
 	}
+	if classification == rpc.SeqDuplicate {
+		if _, ok := s.fp().Eval(FPDedupSkip); ok {
+			classification = rpc.SeqNew // armed: broken dedup re-executes
+		}
+	}
 	switch classification {
 	case rpc.SeqIgnore:
 		return
@@ -515,6 +527,7 @@ func (s *Server) handleRequest(req rpc.Request) {
 	}
 
 	// Interception point: has this session become an orphan?
+	var reqLSN wal.LSN
 	if s.cfg.Logging {
 		if _, orphan := s.know.OrphanIn(sess.vecLocked()); orphan {
 			s.replyBusy(req)
@@ -533,6 +546,7 @@ func (s *Server) handleRequest(req rpc.Request) {
 			Arg: req.Arg, HasDV: req.HasDV, DV: req.DV}
 		lsn, n := s.mustAppend(logrec.TReqReceive, rec.Encode())
 		sess.noteReceive(lsn, n, req.DV)
+		reqLSN = lsn
 	}
 
 	if req.EndSession {
@@ -559,6 +573,11 @@ func (s *Server) handleRequest(req rpc.Request) {
 	}
 	sess.bufferReply(rep)
 	sess.seq.Advance(req.Seq)
+	if tap := s.cfg.Tap; tap != nil {
+		// The execution is reported before the reply is sent: whether the
+		// client ever sees the reply is the client history's business.
+		tap.RequestExecuted(s.cfg.ID, sess.id, req.Seq, s.epoch.Load(), uint64(reqLSN), rep.Payload, false)
+	}
 	//mspr:flushed-by sendReply
 	if err := s.sendReply(sess, req.From, rep); err != nil {
 		if errors.Is(err, errOrphanDep) {
@@ -896,7 +915,8 @@ func (s *Server) writeMSPCheckpoint() error {
 	}
 	s.mu.Unlock()
 
-	lsn, _, err := s.appendRec(logrec.TMSPCheckpoint, ck.Encode())
+	ckPayload := ck.Encode()
+	lsn, _, err := s.appendRec(logrec.TMSPCheckpoint, ckPayload)
 	if err != nil {
 		return err
 	}
@@ -942,6 +962,9 @@ func (s *Server) writeMSPCheckpoint() error {
 	s.lastMSPCkpt = lsn
 	s.bytesSinceCkpt.Store(0)
 	s.stats.MSPCkpts.Add(1)
+	if tap := s.cfg.Tap; tap != nil {
+		tap.StateDigest(s.cfg.ID, "msp-ckpt", s.epoch.Load(), uint64(lsn), tapDigest(ckPayload))
+	}
 	return nil
 }
 
@@ -987,12 +1010,16 @@ func (s *Server) checkpointSession(sess *Session) error {
 		return err
 	}
 	rec := sess.checkpointRecord()
-	lsn, _, err := s.appendRec(logrec.TSessionCkpt, rec.Encode())
+	payload := rec.Encode()
+	lsn, _, err := s.appendRec(logrec.TSessionCkpt, payload)
 	if err != nil {
 		return err
 	}
 	sess.completeCheckpoint(lsn)
 	s.stats.SessionCkpts.Add(1)
+	if tap := s.cfg.Tap; tap != nil {
+		tap.StateDigest(s.cfg.ID, "session-ckpt/"+sess.id, s.epoch.Load(), uint64(lsn), tapDigest(payload))
+	}
 	return nil
 }
 

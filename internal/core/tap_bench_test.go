@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"mspr/internal/oracle"
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+)
+
+// benchRequests measures the end-to-end request path — client Call
+// through the logged server and back — with the given taps attached.
+// Comparing the NoTap variant against a tree without the tap sites (or
+// against WithRecorder) shows what the observation hooks cost when no
+// oracle is attached: the guard is a single nil check, so allocs/op must
+// not move.
+func benchRequests(b *testing.B, tap Tap, ctap ClientTap) {
+	net := simnet.New(simnet.Config{TimeScale: 0})
+	dom := NewDomain("bench", 0, 0)
+	cfg := NewConfig("sut", dom, simdisk.NewDisk(simdisk.DefaultModel(0)), net, counterDef())
+	cfg.Tap = tap
+	srv, err := Start(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Crash()
+	client := NewClient("bench-client", net, rpc.DefaultCallOptions(0))
+	defer client.Close()
+	if ctap != nil {
+		client.SetTap(ctap)
+	}
+	sess := client.Session("sut")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Call("inc", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRequestNoTap(b *testing.B) {
+	benchRequests(b, nil, nil)
+}
+
+func BenchmarkRequestRecorderTap(b *testing.B) {
+	rec := oracle.NewRecorder()
+	benchRequests(b, rec, rec)
+}

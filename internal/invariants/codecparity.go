@@ -13,6 +13,10 @@ import (
 // `Encode() []byte` method and a matching `Decode<Name>` function in
 // the same package, every exported field must be referenced by both
 // bodies. Deliberately un-encoded fields carry //mspr:codecparity.
+//
+// Pairs whose bodies both go through encoding/json are exempt: a
+// reflective codec walks every field by construction, so per-field
+// drift between the two paths cannot happen there.
 var CodecParity = &Analyzer{
 	Name: "codecparity",
 	Doc:  "every exported field of a log-record struct must appear in both its Encode and Decode paths",
@@ -53,6 +57,9 @@ func runCodecParity(ctx *Context) {
 			st, ok := obj.Type().Underlying().(*types.Struct)
 			if !ok {
 				continue
+			}
+			if usesEncodingJSON(pkg.Info, enc.Body) && usesEncodingJSON(pkg.Info, dec.Body) {
+				continue // reflective codec: fields cannot drift between paths
 			}
 			encRefs := fieldRefs(pkg.Info, enc.Body)
 			decRefs := fieldRefs(pkg.Info, dec.Body)
@@ -105,6 +112,27 @@ func cutPrefixName(name string) (string, bool) {
 		return "", false
 	}
 	return name[len(p):], true
+}
+
+// usesEncodingJSON reports whether the body calls into encoding/json
+// (json.Marshal, json.NewEncoder, ...).
+func usesEncodingJSON(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "encoding/json" {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // fieldRefs collects every struct field object selected in the body.

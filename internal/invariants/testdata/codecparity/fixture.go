@@ -2,7 +2,10 @@
 // field of an Encode/Decode record pair must appear in both bodies.
 package fixture
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"encoding/json"
+)
 
 // GoodRec round-trips both exported fields: clean.
 type GoodRec struct {
@@ -62,4 +65,23 @@ func DecodeCacheRec(p []byte) (CacheRec, error) {
 	var r CacheRec
 	r.A = binary.LittleEndian.Uint32(p)
 	return r, nil
+}
+
+// ReflectRec goes through encoding/json on both sides: reflection walks
+// every field, so the pair is exempt even though no field is named.
+type ReflectRec struct {
+	A uint32 `json:"a"`
+	B string `json:"b"`
+}
+
+func (r ReflectRec) Encode() []byte {
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// DecodeReflectRec parses a ReflectRec payload.
+func DecodeReflectRec(p []byte) (ReflectRec, error) {
+	var r ReflectRec
+	err := json.Unmarshal(p, &r)
+	return r, err
 }

@@ -13,6 +13,12 @@ const (
 	FPDead = "fixture.dead" // want "never referenced at a production inject site"
 	// FPQuiet fires in production but nothing exercises it.
 	FPQuiet = "fixture.quiet" //mspr:failpointnames fixture demonstrates a suppressed unexercised point
+	// FPTapSkip mirrors a behavior-altering tap point (à la
+	// core.FPDedupSkip): it never crashes, it reroutes a decision while
+	// armed, and it obeys the same registry rules as the crash points.
+	FPTapSkip = "fixture.tap.skip"
+	// FPTapDead is a tap point that lost its inject site.
+	FPTapDead = "fixture.tap.dead" // want "never referenced at a production inject site"
 )
 
 // FPStray lives outside the registry block.
@@ -22,6 +28,7 @@ func hit(r *failpoint.Registry) {
 	r.Eval(FPInjected)
 	r.Eval(FPQuiet)
 	r.Eval(FPStray)
+	r.Eval(FPTapSkip)
 	r.Eval("fixture.literal") // want "string literal"
 }
 

@@ -5,7 +5,7 @@ import "testing"
 // TestArm exercises the failpoints (referenced here, they count as
 // covered by a test; FPQuiet is deliberately absent).
 func TestArm(t *testing.T) {
-	for _, name := range []string{FPInjected, FPDead, FPStray} {
+	for _, name := range []string{FPInjected, FPDead, FPStray, FPTapSkip, FPTapDead} {
 		if name == "" {
 			t.Fatal("empty failpoint name")
 		}

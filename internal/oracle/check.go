@@ -1,0 +1,315 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Checker names, as reported in Violation.Checker.
+const (
+	CheckExactlyOnce   = "exactly-once"
+	CheckMonotonic     = "session-monotonic"
+	CheckExplainable   = "explainable-state"
+	CheckNoOrphanReply = "no-orphan-reply"
+)
+
+// Violation is one checker finding.
+type Violation struct {
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+func (v Violation) String() string { return v.Checker + ": " + v.Message }
+
+// Check runs the four history checkers and returns every violation
+// found, grouped by checker. An empty result means the history is
+// consistent with the paper's exactly-once, session-monotonicity,
+// explainable-state and no-orphan-reply guarantees.
+func Check(events []Event) []Violation {
+	h := buildHistory(events)
+	var out []Violation
+	out = append(out, checkExactlyOnce(h)...)
+	out = append(out, checkMonotonic(h)...)
+	out = append(out, checkExplainable(h)...)
+	out = append(out, checkNoOrphanReply(h)...)
+	return out
+}
+
+// history is the indexed form of an event slice that the checkers share.
+type history struct {
+	events []Event
+	// recoversByServer / rollbacksByServer index the death-causing
+	// events, in recording order, for the dead-execution rule.
+	recoversByServer  map[string][]Event
+	rollbacksByServer map[string][]Event
+	// executes groups KindExecute events by server-scoped request ID.
+	executes map[string][]Event
+	// executesBySession groups executions by (session, seq) across
+	// servers — the client does not know which server name executed it.
+	executesBySession map[string][]Event
+	// repliesBySession groups client replies per session in recording
+	// order; invokes likewise.
+	repliesBySession map[string][]Event
+	invokes          map[string][]Event
+}
+
+func clientID(session string, seq uint64) string {
+	return fmt.Sprintf("%s/%d", session, seq)
+}
+
+func buildHistory(events []Event) *history {
+	h := &history{
+		events:            events,
+		recoversByServer:  map[string][]Event{},
+		rollbacksByServer: map[string][]Event{},
+		executes:          map[string][]Event{},
+		executesBySession: map[string][]Event{},
+		repliesBySession:  map[string][]Event{},
+		invokes:           map[string][]Event{},
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindRecover:
+			h.recoversByServer[e.Server] = append(h.recoversByServer[e.Server], e)
+		case KindRollback:
+			h.rollbacksByServer[e.Server] = append(h.rollbacksByServer[e.Server], e)
+		case KindExecute:
+			h.executes[e.reqID()] = append(h.executes[e.reqID()], e)
+			k := clientID(e.Session, e.Seq)
+			h.executesBySession[k] = append(h.executesBySession[k], e)
+		case KindReply:
+			k := clientID(e.Session, e.Seq)
+			h.repliesBySession[k] = append(h.repliesBySession[k], e)
+		case KindInvoke:
+			k := clientID(e.Session, e.Seq)
+			h.invokes[k] = append(h.invokes[k], e)
+		}
+	}
+	return h
+}
+
+// dead reports whether execution e was undone by a later recovery or
+// session rollback. An execution dies when, later in the history, either
+//
+//   - its server recovered from e's epoch to a point before e's LSN
+//     (the execution was beyond the recovered state number and is lost),
+//     or
+//   - its session was rolled back from an LSN at or below e's LSN (the
+//     orphan-truncation path undid it).
+//
+// Executions with epoch 0 and LSN 0 come from stateless/transactional
+// servers whose effects commit atomically outside the session log; they
+// never die here. Replayed executions regenerate state that recovery
+// itself chose to keep, so the rule only applies to fresh ones — the
+// callers filter.
+func (h *history) dead(e Event) bool {
+	if e.Epoch == 0 && e.LSN == 0 {
+		return false
+	}
+	for _, rec := range h.recoversByServer[e.Server] {
+		if rec.Idx > e.Idx && rec.CrashedEpoch == e.Epoch && rec.RecoveredLSN < e.LSN {
+			return true
+		}
+	}
+	for _, rb := range h.rollbacksByServer[e.Server] {
+		if rb.Idx > e.Idx && rb.Session == e.Session && rb.FromLSN != 0 && rb.FromLSN <= e.LSN {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExactlyOnce verifies that each request ID has at most one
+// surviving fresh execution, and that every reply the client accepted
+// for one request ID carries the same payload digest.
+func checkExactlyOnce(h *history) []Violation {
+	var out []Violation
+	ids := make([]string, 0, len(h.executes))
+	for id := range h.executes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		live := 0
+		for _, e := range h.executes[id] {
+			if e.Replayed || h.dead(e) {
+				continue
+			}
+			live++
+		}
+		if live > 1 {
+			out = append(out, Violation{CheckExactlyOnce, fmt.Sprintf(
+				"request %s executed %d times (surviving fresh executions; duplicates were not deduplicated)", id, live)})
+		}
+	}
+	keys := make([]string, 0, len(h.repliesBySession))
+	for k := range h.repliesBySession {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// Group by OK flag: an accepted application error and an
+		// accepted OK reply never coexist for one seq, but be safe.
+		var okDig, errDig *uint64
+		for _, rep := range h.repliesBySession[k] {
+			d := rep.Digest
+			p := &okDig
+			if !rep.OK {
+				p = &errDig
+			}
+			if *p == nil {
+				*p = &d
+			} else if **p != d {
+				out = append(out, Violation{CheckExactlyOnce, fmt.Sprintf(
+					"request %s: client accepted replies with diverging payload digests (%#x vs %#x)", k, **p, d)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checkMonotonic verifies that each session's accepted OK-reply sequence
+// never regresses. Equal sequence numbers are allowed: a durable client
+// that resumes after its own crash legitimately re-drives the same seq
+// and accepts the buffered reply again.
+func checkMonotonic(h *history) []Violation {
+	var out []Violation
+	prevMax := map[string]uint64{}
+	for _, e := range h.events {
+		if e.Kind != KindReply || !e.OK {
+			continue
+		}
+		if max, seen := prevMax[e.Session]; seen && e.Seq < max {
+			out = append(out, Violation{CheckMonotonic, fmt.Sprintf(
+				"session %s: accepted reply for seq %d after seq %d (reply sequence regressed across recovery)",
+				e.Session, e.Seq, max)})
+			continue
+		}
+		if e.Seq > prevMax[e.Session] {
+			prevMax[e.Session] = e.Seq
+		}
+	}
+	return out
+}
+
+// effectKey dedupes effect declarations: a retried request's effect
+// counts once, and redeclaring replaces the delta (last wins).
+func effectKey(e Event) string { return fmt.Sprintf("%s/%d/%s", e.Session, e.Seq, e.Var) }
+
+// checkExplainable verifies that each audited shared counter's final
+// value lies in the window producible by some serialization of the
+// declared writes: every acknowledged write (OK reply accepted) must be
+// included exactly once, and each unresolved write (invoked, never OK)
+// may be included or not. Below the window is a lost update; above it is
+// a leaked write from a request that was never acknowledged.
+func checkExplainable(h *history) []Violation {
+	type window struct{ acked, lostMin, leakMax int64 }
+	// Last declaration wins per (session, seq, var).
+	lastEffect := map[string]Event{}
+	var order []string
+	for _, e := range h.events {
+		if e.Kind != KindEffect {
+			continue
+		}
+		k := effectKey(e)
+		if _, seen := lastEffect[k]; !seen {
+			order = append(order, k)
+		}
+		lastEffect[k] = e
+	}
+	acked := func(session string, seq uint64) bool {
+		for _, rep := range h.repliesBySession[clientID(session, seq)] {
+			if rep.OK {
+				return true
+			}
+		}
+		return false
+	}
+	windows := map[string]*window{}
+	for _, k := range order {
+		e := lastEffect[k]
+		w := windows[e.Var]
+		if w == nil {
+			w = &window{}
+			windows[e.Var] = w
+		}
+		if acked(e.Session, e.Seq) {
+			w.acked += e.Delta
+		} else {
+			// Outcome unknown: the write may or may not have landed.
+			if e.Delta < 0 {
+				w.lostMin += e.Delta
+			} else {
+				w.leakMax += e.Delta
+			}
+		}
+	}
+	// Final values: check each against its variable's window, in
+	// recording order.
+	var out []Violation
+	for _, e := range h.events {
+		if e.Kind != KindFinal {
+			continue
+		}
+		w := windows[e.Var]
+		if w == nil {
+			w = &window{}
+		}
+		lo, hi := w.acked+w.lostMin, w.acked+w.leakMax
+		if e.Value < lo {
+			out = append(out, Violation{CheckExplainable, fmt.Sprintf(
+				"var %s: final value %d below minimum explainable %d (acknowledged writes sum to %d; a lost update)",
+				e.Var, e.Value, lo, w.acked)})
+		} else if e.Value > hi {
+			out = append(out, Violation{CheckExplainable, fmt.Sprintf(
+				"var %s: final value %d above maximum explainable %d (acknowledged writes sum to %d; a leaked unacknowledged write)",
+				e.Var, e.Value, hi, w.acked)})
+		}
+	}
+	return out
+}
+
+// checkNoOrphanReply verifies that every OK reply the client accepted is
+// backed by at least one execution that survived all later recoveries —
+// fresh-and-surviving, or regenerated by replay. A reply whose every
+// backing execution died reflects rolled-back (orphan) state.
+func checkNoOrphanReply(h *history) []Violation {
+	var out []Violation
+	keys := make([]string, 0, len(h.repliesBySession))
+	for k := range h.repliesBySession {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, rep := range h.repliesBySession[k] {
+			if !rep.OK {
+				continue
+			}
+			execs := h.executesBySession[k]
+			if len(execs) == 0 {
+				out = append(out, Violation{CheckNoOrphanReply, fmt.Sprintf(
+					"request %s: client accepted a reply but no server reported executing it", k)})
+				break
+			}
+			backed := false
+			for _, e := range execs {
+				if e.Digest != rep.Digest {
+					continue
+				}
+				if e.Replayed || !h.dead(e) {
+					backed = true
+					break
+				}
+			}
+			if !backed {
+				out = append(out, Violation{CheckNoOrphanReply, fmt.Sprintf(
+					"request %s: accepted reply digest %#x is backed only by executions a later recovery rolled back (orphan reply)",
+					k, rep.Digest)})
+			}
+			// One verdict per request ID.
+			break
+		}
+	}
+	return out
+}

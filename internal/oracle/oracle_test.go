@@ -1,0 +1,226 @@
+package oracle
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// checkers returns the sorted, deduplicated set of checker names that
+// fired.
+func checkers(vs []Violation) []string {
+	set := map[string]bool{}
+	for _, v := range vs {
+		set[v.Checker] = true
+	}
+	var out []string
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expectOnly asserts that exactly the named checker fired (or none).
+func expectOnly(t *testing.T, rec *Recorder, want ...string) {
+	t.Helper()
+	vs := rec.Check()
+	got := checkers(vs)
+	sort.Strings(want)
+	if len(want) == 0 {
+		want = nil
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkers fired = %v, want %v; violations:\n%v", got, want, vs)
+	}
+}
+
+// TestHealthyHistory plants no violation: resends, a replayed execution,
+// a recovery that loses nothing, and a matching audited counter must all
+// pass every checker.
+func TestHealthyHistory(t *testing.T) {
+	r := NewRecorder()
+	// seq 1: clean round trip with a resend and a network duplicate that
+	// the server deduplicated (no second execute event).
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.DeclareEffect("c#1", 1, "x", 1)
+	r.ClientRetry("c#1", 1, 2)
+	r.RequestExecuted("srv", "c#1", 1, 1, 10, []byte("r1"), false)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	// Crash: seq 1's execution is at LSN 10, the recovery keeps it.
+	r.ServerRecovered("srv", 1, 10, 2)
+	// seq 2 executed during replay of the recovered session log and then
+	// fresh in the new epoch.
+	r.RequestExecuted("srv", "c#1", 2, 2, 11, []byte("r2"), true)
+	r.ClientInvoke("c#1", "op", 2, []byte("a2"))
+	r.DeclareEffect("c#1", 2, "x", 1)
+	r.RequestExecuted("srv", "c#1", 2, 2, 12, []byte("r2"), false)
+	r.ClientReply("c#1", 2, true, []byte("r2"))
+	// An application error is a terminal outcome too.
+	r.ClientInvoke("c#1", "op", 3, []byte("a3"))
+	r.RequestExecuted("srv", "c#1", 3, 2, 13, []byte("boom"), false)
+	r.ClientReply("c#1", 3, false, []byte("boom"))
+	r.StateDigest("srv", "msp-ckpt", 2, 13, 42)
+	r.FinalState("x", 2)
+	expectOnly(t, r)
+}
+
+// TestDuplicateExecution plants the exactly-once violation: broken
+// deduplication lets a resend execute the same request twice, and both
+// executions survive.
+func TestDuplicateExecution(t *testing.T) {
+	r := NewRecorder()
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.RequestExecuted("srv", "c#1", 1, 1, 10, []byte("r1"), false)
+	r.ClientRetry("c#1", 1, 2)
+	r.RequestExecuted("srv", "c#1", 1, 1, 11, []byte("r1"), false)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	expectOnly(t, r, CheckExactlyOnce)
+}
+
+// TestDivergingReplyDigests plants the other exactly-once violation: the
+// client accepted two replies for one request ID with different
+// payloads. The second reply is backed by a replayed execution so the
+// no-orphan checker stays silent — the defect is purely the divergence.
+func TestDivergingReplyDigests(t *testing.T) {
+	r := NewRecorder()
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.RequestExecuted("srv", "c#1", 1, 1, 10, []byte("r1"), false)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	r.RequestExecuted("srv", "c#1", 1, 2, 10, []byte("r1-prime"), true)
+	r.ClientReply("c#1", 1, true, []byte("r1-prime"))
+	expectOnly(t, r, CheckExactlyOnce)
+}
+
+// TestSessionRegression plants the monotonicity violation: after
+// accepting seq 2's reply the session accepts seq 1's again — the
+// recovered server forgot how far the session had advanced.
+func TestSessionRegression(t *testing.T) {
+	r := NewRecorder()
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.RequestExecuted("srv", "c#1", 1, 1, 10, []byte("r1"), false)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	r.ClientInvoke("c#1", "op", 2, []byte("a2"))
+	r.RequestExecuted("srv", "c#1", 2, 1, 11, []byte("r2"), false)
+	r.ClientReply("c#1", 2, true, []byte("r2"))
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	expectOnly(t, r, CheckMonotonic)
+}
+
+// TestLostUpdate plants the explainability violation: three
+// acknowledged increments but the final counter shows two — one
+// acknowledged write vanished.
+func TestLostUpdate(t *testing.T) {
+	r := NewRecorder()
+	for seq := uint64(1); seq <= 3; seq++ {
+		arg := []byte{byte('a'), byte('0' + seq)}
+		rep := []byte{byte('r'), byte('0' + seq)}
+		r.ClientInvoke("c#1", "op", seq, arg)
+		r.DeclareEffect("c#1", seq, "x", 1)
+		r.RequestExecuted("srv", "c#1", seq, 1, 10+seq, rep, false)
+		r.ClientReply("c#1", seq, true, rep)
+	}
+	r.FinalState("x", 2)
+	expectOnly(t, r, CheckExplainable)
+}
+
+// TestLeakedWrite plants the explainability violation from the other
+// side: the final counter exceeds everything the acknowledged and
+// in-flight writes can explain.
+func TestLeakedWrite(t *testing.T) {
+	r := NewRecorder()
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.DeclareEffect("c#1", 1, "x", 1)
+	r.RequestExecuted("srv", "c#1", 1, 1, 11, []byte("r1"), false)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	// An in-flight request that never got its reply may or may not have
+	// landed: final 1 or 2 would be explainable, 3 is not.
+	r.ClientInvoke("c#1", "op", 2, []byte("a2"))
+	r.DeclareEffect("c#1", 2, "x", 1)
+	r.FinalState("x", 3)
+	expectOnly(t, r, CheckExplainable)
+}
+
+// TestOrphanReply plants the no-orphan-reply violation: the client
+// accepted a reply whose only backing execution was beyond the LSN the
+// server later recovered to.
+func TestOrphanReply(t *testing.T) {
+	r := NewRecorder()
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.RequestExecuted("srv", "c#1", 1, 1, 20, []byte("r1"), false)
+	r.ServerRecovered("srv", 1, 10, 2)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	expectOnly(t, r, CheckNoOrphanReply)
+}
+
+// TestRollbackKillsExecution checks the session-rollback arm of the
+// dead-execution rule: an orphan truncation from an LSN at or below the
+// execution's kills it, so the accepted reply it backed is an orphan.
+func TestRollbackKillsExecution(t *testing.T) {
+	r := NewRecorder()
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.RequestExecuted("srv", "c#1", 1, 1, 20, []byte("r1"), false)
+	r.SessionRolledBack("srv", "c#1", 15)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	expectOnly(t, r, CheckNoOrphanReply)
+}
+
+// TestStatelessExecutionsNeverDie checks the epoch-0/LSN-0 convention:
+// transactional servers commit atomically outside the session log, so a
+// recovery event for the same server name must not orphan them.
+func TestStatelessExecutionsNeverDie(t *testing.T) {
+	r := NewRecorder()
+	r.ClientInvoke("c#1", "op", 1, []byte("a1"))
+	r.RequestExecuted("rm", "c#1", 1, 0, 0, []byte("r1"), false)
+	r.ServerRecovered("rm", 1, 0, 2)
+	r.ClientReply("c#1", 1, true, []byte("r1"))
+	expectOnly(t, r)
+}
+
+// TestEventsJSONRoundTrip keeps the on-disk trace format honest: an
+// event survives JSON encoding bit-for-bit.
+func TestEventsJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.RequestExecuted("srv", "c#1", 7, 3, 99, []byte("r"), true)
+	r.ServerRecovered("srv", 3, 80, 4)
+	evs := r.Events()
+	b, err := json.Marshal(evs)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(evs, back) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", evs, back)
+	}
+}
+
+// TestRecorderConcurrency exercises the recorder under parallel writers;
+// run with -race this is the data-race check for the tap hot path.
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				r.RequestExecuted("srv", "c", uint64(i), 1, uint64(i), nil, false)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := r.Len(); got != 800 {
+		t.Fatalf("len = %d, want 800", got)
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Idx != int64(i) {
+			t.Fatalf("event %d has idx %d", i, e.Idx)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"sync"
 
 	"mspr/internal/failpoint"
@@ -322,6 +323,25 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.data)
+}
+
+// Digest returns an order-independent digest of the committed state:
+// the XOR of per-entry FNV-1a hashes over key and value. Two stores
+// hold identical data iff their digests match (up to hash collisions);
+// the correctness oracle records it at storm boundaries to compare a
+// recovered store against the state the history predicts.
+func (s *Store) Digest() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var d uint64
+	for k, v := range s.data {
+		h := fnv.New64a()
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write(v)
+		d ^= h.Sum64()
+	}
+	return d
 }
 
 // encodeKVBlock serializes a map as [payloadLen u32][count u32][entries...][crc u32]

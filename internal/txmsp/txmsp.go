@@ -164,6 +164,11 @@ type Config struct {
 	Disk *simdisk.Disk
 	// TimeScale matches the rest of the simulation.
 	TimeScale float64
+	// Tap, when non-nil, attaches the correctness oracle's observation
+	// tap (see internal/oracle). Transactions report epoch 0 / LSN 0:
+	// their durability is the store's commit, not a session log position,
+	// so no MSP recovery event ever rolls them back.
+	Tap core.Tap
 }
 
 // Server is a transactional resource manager: a NoLog MSP whose only
@@ -237,7 +242,13 @@ func (t *Server) exec(ctx *core.Ctx, arg []byte) ([]byte, error) {
 		return nil, storeFailed(ctx, err)
 	} else if ok {
 		st.Abort()
-		return prior, nil // already executed: return the recorded reply
+		// Already executed: return the recorded reply. Reported as a
+		// replayed execution — it regenerates nothing and must not count
+		// toward the request's execution tally.
+		if tap := t.cfg.Tap; tap != nil {
+			tap.RequestExecuted(t.cfg.ID, ctx.SessionID(), ctx.RequestSeq(), 0, 0, prior, true)
+		}
+		return prior, nil
 	}
 	var res Result
 	for _, op := range tx.Ops {
@@ -291,7 +302,14 @@ func (t *Server) exec(ctx *core.Ctx, arg []byte) ([]byte, error) {
 		return nil, err
 	}
 	if err := st.Commit(); err != nil {
+		// No tap event on a failed commit: an injected crash means the
+		// outcome is unknown (the resend will find — or not find — the
+		// idempotency record), and reporting a fresh execution here would
+		// plant false duplicates in the history.
 		return nil, storeFailed(ctx, err)
+	}
+	if tap := t.cfg.Tap; tap != nil {
+		tap.RequestExecuted(t.cfg.ID, ctx.SessionID(), ctx.RequestSeq(), 0, 0, reply, false)
 	}
 	return reply, nil
 }
@@ -302,6 +320,17 @@ func (t *Server) Crash() { t.srv.Crash() }
 // Read returns a committed value directly from the store (audit hook).
 func (t *Server) Read(key string) ([]byte, bool) {
 	return t.store.Get(dataKey(key))
+}
+
+// Digest returns the store's committed-state digest (see sdb.Digest) and
+// reports it to the attached tap under the given scope, so a storm can
+// snapshot the resource manager's state at its boundaries.
+func (t *Server) Digest(scope string) uint64 {
+	d := t.store.Digest()
+	if tap := t.cfg.Tap; tap != nil {
+		tap.StateDigest(t.cfg.ID, scope, 0, 0, d)
+	}
+	return d
 }
 
 // Exec is the client-side helper MSP methods use: it runs tx on the

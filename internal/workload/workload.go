@@ -94,6 +94,12 @@ type Params struct {
 	// Latencies: client↔MSP1 round trip 3.9 ms, MSP1↔MSP2 3.596 ms.
 	ClientRTT time.Duration
 	MSPRTT    time.Duration
+	// Tap / ClientTap, when non-nil, attach the correctness oracle's
+	// observation taps to both MSPs and to the end client (see
+	// internal/oracle). Nil (the default) records nothing and costs one
+	// nil check per tap site.
+	Tap       core.Tap
+	ClientTap core.ClientTap
 }
 
 // NewParams returns the paper's experimental parameters at the given
@@ -194,6 +200,7 @@ func New(p Params) (*System, error) {
 		cfg.BatchFlushTimeout = p.BatchFlushTimeout
 		cfg.Workers = p.Workers
 		cfg.TimeScale = p.TimeScale
+		cfg.Tap = p.Tap
 		return cfg
 	}
 	s.cfg1 = mkCfg("msp1", s.dom1, s.disk1, def1)
@@ -209,6 +216,9 @@ func New(p Params) (*System, error) {
 		return nil, err
 	}
 	s.Client = core.NewClient("client", s.Net, rpc.DefaultCallOptions(p.TimeScale))
+	if p.ClientTap != nil {
+		s.Client.SetTap(p.ClientTap)
+	}
 	return s, nil
 }
 

@@ -3,6 +3,8 @@ package workload
 import (
 	"testing"
 	"time"
+
+	"mspr/internal/oracle"
 )
 
 func runSystem(t *testing.T, p Params, requests int) *System {
@@ -252,4 +254,38 @@ func TestBatchFlushingServes(t *testing.T) {
 	p.BatchFlushTimeout = 8 * time.Millisecond
 	s := runSystem(t, p, 10)
 	defer s.Close()
+}
+
+// TestOracleCleanUnderCrashes attaches the correctness oracle to the
+// paper's experimental system and verifies that a crash-riddled run
+// leaves a history all four checkers accept: the recovery
+// infrastructure really does hide the injected MSP2 crashes.
+func TestOracleCleanUnderCrashes(t *testing.T) {
+	rec := oracle.NewRecorder()
+	p := NewParams(LoOptimistic, 0)
+	p.CrashEvery = 5
+	p.SessionCkptThreshold = 16 << 10
+	p.Tap = rec
+	p.ClientTap = rec
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cs := s.NewSession()
+	for i := 1; i <= 25; i++ {
+		if _, err := s.Do(cs); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	s.crashWG.Wait()
+	if s.Crashes() == 0 {
+		t.Fatal("no crashes were injected")
+	}
+	if rec.Len() == 0 {
+		t.Fatal("oracle recorded nothing")
+	}
+	if vs := rec.Check(); len(vs) != 0 {
+		t.Fatalf("oracle violations on a correct system:\n%v", vs)
+	}
 }
