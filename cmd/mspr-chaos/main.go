@@ -64,6 +64,7 @@ type stormConfig struct {
 	seed        int64
 	loss, dup   float64
 	scale       float64
+	batch       time.Duration
 	failpoints  bool
 	partitions  bool
 	oracle      bool
@@ -154,6 +155,7 @@ func buildStorm(c stormConfig) (*storm, error) {
 		cfg := core.NewConfig(id, dom, simdisk.NewDisk(simdisk.DefaultModel(c.scale)), net, def)
 		cfg.SessionCkptThreshold = 64 << 10
 		cfg.TimeScale = c.scale
+		cfg.BatchFlushTimeout = c.batch
 		cfg.Failpoints = fp
 		if rec != nil {
 			cfg.Tap = rec
@@ -370,6 +372,8 @@ func main() {
 	loss := flag.Float64("loss", 0.03, "network loss rate")
 	dup := flag.Float64("dup", 0.03, "network duplication rate")
 	scale := flag.Float64("scale", 0.005, "time scale")
+	batchFlush := flag.Duration("batch-flush", 8*time.Millisecond,
+		"group-commit batch window in model time (0 = flush each record immediately)")
 	failpoints := flag.Bool("failpoints", false,
 		"arm the injected crash surface: torn log writes, anchor corruption, crashes inside recovery, mid-commit store crashes")
 	partitions := flag.Bool("partitions", false,
@@ -387,6 +391,7 @@ func main() {
 	cfg := stormConfig{
 		actors: *actors, ops: *ops, seed: *seed,
 		loss: *loss, dup: *dup, scale: *scale,
+		batch:      *batchFlush,
 		failpoints: *failpoints, partitions: *partitions,
 		oracle: *useOracle, breakDedup: *breakDedup,
 	}
@@ -459,6 +464,12 @@ func main() {
 	fmt.Printf("ctl: dups=%d flushDeadlines=%d peerDown=%d antiEntropyPulls=%d broadcastMissed=%d\n",
 		n.CtlDuplicates.Load(), n.FlushDeadlinesExceeded.Load(), n.PeerDownEvents.Load(),
 		n.AntiEntropyPulls.Load(), n.BroadcastPeersMissed.Load())
+	w := &metrics.Wal
+	if batches := w.GroupCommitBatches.Load(); batches > 0 {
+		fmt.Printf("wal: groupCommitBatches=%d waitersPerBatch=%.2f windowsHeld=%d waits=%d\n",
+			batches, float64(w.GroupCommitBatchWaiters.Load())/float64(batches),
+			w.GroupCommitWindows.Load(), w.GroupCommitWaits.Load())
+	}
 	if st.rec != nil {
 		fmt.Printf("oracle: %d events recorded\n", st.rec.Len())
 	}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mspr/internal/core"
+	"mspr/internal/metrics"
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+	"mspr/internal/workload"
+)
+
+// HotpathPoint is one measurement of the request serve path: a logging
+// configuration at a worker-pool size, driven by one concurrent client
+// per worker. Alongside throughput and latency it reports allocations
+// per request — the whole process's allocation delta (client, server and
+// simulator combined) divided by the requests served, so it tracks the
+// serve path's allocation diet across PRs as long as the harness itself
+// stays put.
+type HotpathPoint struct {
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"`
+	Throughput  float64 `json:"throughput_req_per_model_s"`
+	P50MS       float64 `json:"p50_model_ms"`
+	P95MS       float64 `json:"p95_model_ms"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// HotpathModes are the configurations tracked by the hot-path trajectory:
+// the no-recovery floor and the paper's two logging methods.
+var HotpathModes = []workload.Mode{workload.NoLog, workload.LoOptimistic, workload.Pessimistic}
+
+// RunHotpath measures every hot-path configuration at each worker-pool
+// size (default 8 and 32) and returns the points for BENCH_hotpath.json.
+func RunHotpath(o Options, workers []int) ([]HotpathPoint, error) {
+	o = o.withDefaults()
+	if len(workers) == 0 {
+		workers = []int{8, 32}
+	}
+	o.printf("Hotpath — serve-path throughput/latency/allocations, %d requests per point\n", o.Requests)
+	o.printf("%-14s %8s %12s %10s %10s %12s %12s\n",
+		"config", "workers", "throughput", "p50", "p95", "allocs/op", "bytes/op")
+	var out []HotpathPoint
+	for _, mode := range HotpathModes {
+		for _, w := range workers {
+			p := workload.NewParams(mode, o.TimeScale)
+			p.Workers = w
+			pt, err := runHotpathPoint(o, p, w)
+			if err != nil {
+				return nil, fmt.Errorf("hotpath %s w=%d: %w", mode, w, err)
+			}
+			pt.Mode = mode.String()
+			out = append(out, pt)
+			o.printf("%-14s %8d %12.1f %10.3f %10.3f %12.1f %12.1f\n",
+				mode, w, pt.Throughput, pt.P50MS, pt.P95MS, pt.AllocsPerOp, pt.BytesPerOp)
+		}
+	}
+	return out, nil
+}
+
+// ServePathAllocs isolates the allocation cost of the request serve path
+// itself: one MSP, one serial end client, TimeScale 0, a trivial
+// session-variable method — the same environment as the core package's
+// request benchmarks, so the numbers line up with `go test -bench
+// BenchmarkRequestNoTap ./internal/core`. This is the figure the
+// allocation diet is judged against; the workload-level points above
+// include the full two-MSP §5.1 request and the simulator around it.
+type ServePathAllocs struct {
+	Mode        string  `json:"mode"` // NoLog or LoOptimistic (logging on)
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// RunServePathAllocs measures serve-path allocations per request with
+// logging off (NoLog) and on (LoOptimistic single-MSP serve path: logged
+// receive, group-commit flush before the end-client reply).
+func RunServePathAllocs(o Options) ([]ServePathAllocs, error) {
+	o = o.withDefaults()
+	o.printf("Serve path — single-MSP per-request allocations (serial client, TimeScale 0)\n")
+	o.printf("%-14s %12s %12s\n", "config", "allocs/op", "bytes/op")
+	var out []ServePathAllocs
+	for _, mode := range []struct {
+		name    string
+		logging bool
+	}{{"NoLog", false}, {"LoOptimistic", true}} {
+		sp, err := runServePath(o, mode.logging)
+		if err != nil {
+			return nil, fmt.Errorf("serve path %s: %w", mode.name, err)
+		}
+		sp.Mode = mode.name
+		out = append(out, sp)
+		o.printf("%-14s %12.1f %12.1f\n", sp.Mode, sp.AllocsPerOp, sp.BytesPerOp)
+	}
+	return out, nil
+}
+
+func runServePath(o Options, logging bool) (ServePathAllocs, error) {
+	net := simnet.New(simnet.Config{TimeScale: 0})
+	dom := core.NewDomain("bench", 0, 0)
+	def := core.Definition{Methods: map[string]core.Handler{
+		"inc": func(ctx *core.Ctx, arg []byte) ([]byte, error) {
+			b := make([]byte, 8)
+			n := uint64(0)
+			if v := ctx.GetVar("n"); len(v) == 8 {
+				n = binary.BigEndian.Uint64(v)
+			}
+			binary.BigEndian.PutUint64(b, n+1)
+			ctx.SetVar("n", b)
+			return b, nil
+		},
+	}}
+	cfg := core.NewConfig("sut", dom, simdisk.NewDisk(simdisk.DefaultModel(0)), net, def)
+	cfg.Logging = logging
+	srv, err := core.Start(cfg)
+	if err != nil {
+		return ServePathAllocs{}, err
+	}
+	defer srv.Crash()
+	client := core.NewClient("bench-client", net, rpc.DefaultCallOptions(0))
+	defer client.Close()
+	sess := client.Session("sut")
+
+	for i := 0; i < 64; i++ { // warm pools and per-session structures
+		if _, err := sess.Call("inc", nil); err != nil {
+			return ServePathAllocs{}, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < o.Requests; i++ {
+		if _, err := sess.Call("inc", nil); err != nil {
+			return ServePathAllocs{}, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return ServePathAllocs{
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(o.Requests),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(o.Requests),
+	}, nil
+}
+
+// runHotpathPoint drives one configuration with as many concurrent client
+// sessions as the server has workers, bracketing the request loop with
+// memory-statistics reads for the allocation figures.
+func runHotpathPoint(o Options, p workload.Params, w int) (HotpathPoint, error) {
+	sys, err := workload.New(p)
+	if err != nil {
+		return HotpathPoint{}, err
+	}
+	defer sys.Close()
+	clients := w
+	perClient := o.Requests / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	total := perClient * clients
+
+	// Warm-up: fill the buffer pools and grow the per-session structures
+	// so the bracket below measures steady state, not first-touch growth.
+	warm := sys.NewSession()
+	for i := 0; i < 32; i++ {
+		if _, err := sys.Do(warm); err != nil {
+			return HotpathPoint{}, err
+		}
+	}
+
+	var series metrics.Series
+	var mu sync.Mutex
+	var firstErr error
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now() //mspr:wallclock benchmark measures real elapsed time, rescaled to model time for the report
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs := sys.NewSession()
+			for i := 0; i < perClient; i++ {
+				lat, err := sys.Do(cs)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				series.Record(lat)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start) //mspr:wallclock benchmark measures real elapsed time, rescaled to model time for the report
+	runtime.ReadMemStats(&after)
+	if firstErr != nil {
+		return HotpathPoint{}, firstErr
+	}
+	return HotpathPoint{
+		Workers:     w,
+		Clients:     clients,
+		Requests:    total,
+		Throughput:  metrics.ThroughputPerModelSecond(series.Count(), elapsed, p.TimeScale),
+		P50MS:       metrics.ModelMS(series.Percentile(50), p.TimeScale),
+		P95MS:       metrics.ModelMS(series.Percentile(95), p.TimeScale),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(total),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(total),
+	}, nil
+}

@@ -325,7 +325,7 @@ func (c *Ctx) liveCall(out *outSession, method string, arg []byte) ([]byte, erro
 			// Busy from the session dispatcher meanwhile.
 			bo := s.ctlBackoff(s.ctlID.Add(1))
 			for {
-				err := s.distributedFlush(sess.vecWithSelf())
+				err := s.flushSessionDV(sess)
 				if err == nil {
 					break
 				}
@@ -417,9 +417,9 @@ func sleepScaled(d time.Duration, scale float64) {
 	simtime.Sleep(s)
 }
 
-// sharedVar looks up a declared shared variable.
+// sharedVar looks up a declared shared variable. The shared map is built
+// once in Start from the service definition and never mutated afterwards,
+// so the lookup needs no lock.
 func (s *Server) sharedVar(name string) *SharedVar {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.shared[name]
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+)
+
+// endSessionOrphanDefs builds the two-MSP shape used to plant an
+// unflushed cross-MSP dependency in a shared variable: "seed" on msp1
+// calls msp2 and then writes sv, so sv's dependency vector carries an
+// entry for msp2's (unflushed, optimistic) log tail; "readShared"
+// merges that dependency into whichever session reads sv.
+func endSessionOrphanDefs() (def1, def2 Definition) {
+	def1 = Definition{
+		Methods: map[string]Handler{
+			"seed": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				if _, err := ctx.Call("msp2", "bump", nil); err != nil {
+					return nil, err
+				}
+				return nil, ctx.WriteShared("sv", u64(1))
+			},
+			"readShared": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				return ctx.ReadShared("sv")
+			},
+		},
+		Shared: []SharedDef{{Name: "sv", Initial: u64(0)}},
+	}
+	def2 = Definition{
+		Methods: map[string]Handler{
+			"bump": func(ctx *Ctx, arg []byte) ([]byte, error) {
+				n := asU64(ctx.GetVar("n")) + 1
+				ctx.SetVar("n", u64(n))
+				return u64(n), nil
+			},
+		},
+	}
+	return def1, def2
+}
+
+// TestEndSessionDiscoversOrphan: ending a session whose DV depends on a
+// crashed peer epoch must trigger session orphan recovery, after which a
+// resent End completes — the end-of-session flush is an orphan detection
+// point like any reply flush (§4.2). Regression: finishEndSession used
+// to swallow errOrphanDep, leaving the session an un-recovered orphan
+// and the client resending End forever without an acknowledgement.
+//
+// The scenario needs an idle session holding an UNFLUSHED dependency on
+// the crashed epoch, which a normal reply flush would have made durable.
+// We get one via the optimistic intra-domain path: a fake intra-domain
+// client (HasDV set) runs "seed", whose reply attaches the DV without
+// flushing, leaving sv's dependency on msp2 un-durable. The end client's
+// "readShared" then merges that dependency, and its own reply flush
+// fails Busy behind a partition — so the session goes idle with the
+// dependency still unflushed. msp2 crash-restarts behind the partition
+// (its recovery broadcast is lost), the partition heals, and the End's
+// flush is the first point where msp1 can discover the orphan.
+func TestEndSessionDiscoversOrphan(t *testing.T) {
+	e := newTestEnv(t)
+	defer e.cleanup()
+	def1, def2 := endSessionOrphanDefs()
+	srv1 := e.start("msp1", def1)
+	e.start("msp2", def2)
+
+	// Intra-domain seeder: plants the unflushed msp2 dependency in sv.
+	seeder := e.net.Endpoint("seeder")
+	seeder.Send("msp1", rpc.Request{Session: "seed#1", Seq: 1, Method: "seed",
+		NewSession: true, HasDV: true, From: seeder.Addr()})
+	if rep := awaitReply(t, seeder, 1); rep.Status != rpc.StatusOK {
+		t.Fatalf("seed reply status = %v", rep.Status)
+	}
+
+	// Partition the domain, then let the end client pick up the
+	// dependency. Its reply flush cannot reach msp2, so the request
+	// degrades to Busy and the session goes idle with the dependency
+	// unflushed.
+	e.net.Partition([]simnet.Addr{"msp1"}, []simnet.Addr{"msp2"})
+	ender := e.net.Endpoint("ender")
+	ender.Send("msp1", rpc.Request{Session: "end#1", Seq: 1, Method: "readShared",
+		NewSession: true, From: ender.Addr()})
+	if rep := awaitReply(t, ender, 1); rep.Status != rpc.StatusBusy {
+		t.Fatalf("readShared during partition: status = %v, want Busy", rep.Status)
+	}
+
+	// msp2 crash-restarts behind the partition: its buffered log tail is
+	// lost (the dependency becomes an orphan) and its recovery broadcast
+	// never reaches msp1.
+	e.restart("msp2")
+	e.net.Heal()
+	time.Sleep(40 * time.Millisecond) // let msp1's peer-probe window reopen
+
+	// End the session. The flush discovers the orphan (msp2 answers
+	// CtlOrphan); recovery must run and a resent End must complete.
+	endReq := rpc.Request{Session: "end#1", Seq: 2, EndSession: true, From: ender.Addr()}
+	deadline := time.After(5 * time.Second)
+	resend := time.NewTicker(50 * time.Millisecond)
+	defer resend.Stop()
+	ender.Send("msp1", endReq)
+	for acked := false; !acked; {
+		select {
+		case m := <-ender.Recv():
+			rep, ok := m.Payload.(rpc.Reply)
+			if ok && rep.Seq == 2 && rep.Status == rpc.StatusOK {
+				acked = true
+			}
+		case <-resend.C:
+			ender.Send("msp1", endReq)
+		case <-deadline:
+			t.Fatal("end-session never acknowledged: orphan discovered during the end flush was swallowed")
+		}
+	}
+	if srv1.Stats().OrphanRecoveries.Load() == 0 {
+		t.Fatal("no session orphan recovery ran on msp1")
+	}
+}

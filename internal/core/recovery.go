@@ -41,33 +41,20 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 	}
 	s.know.Restore(ck.Knowledge)
 
-	// The scan starts from the minimal LSN over every session's and
-	// shared variable's most recent checkpoint (§3.4).
-	min := anchor.CheckpointLSN
-	lower := func(lsn wal.LSN) {
-		if lsn != 0 && lsn < min {
-			min = lsn
-		}
-	}
-	for _, sp := range ck.Sessions {
-		if sp.CkptLSN != 0 {
-			lower(sp.CkptLSN)
-		} else {
-			lower(sp.StartLSN)
-		}
-	}
-	for _, sh := range ck.Shared {
-		if sh.CkptLSN != 0 {
-			lower(sh.CkptLSN)
-		} else {
-			lower(sh.FirstWrite)
-		}
-	}
-
+	// The scan starts from the log head the checkpointer recorded in the
+	// anchor: the minimal LSN over every session's and shared variable's
+	// recovery starting point (§3.4) — including sessions that were still
+	// starting when the checkpoint scanned the tables. Such a session
+	// appears in no position list (its SessionStart was still being
+	// appended, possibly below the checkpoint record), but the
+	// checkpointer pinned the head at or below its start, so the scan
+	// finds the SessionStart record itself. Records the scan visits below
+	// another session's checkpoint are discarded again by
+	// scanCheckpointReset when that checkpoint is reached.
 	if err := s.evalCrashPoint(FPRecoveryBeforeScan); err != nil {
 		return nil, err
 	}
-	last, err := s.analysisScan(min)
+	last, err := s.analysisScan(anchor.Head)
 	if err != nil {
 		return nil, err
 	}
@@ -153,10 +140,9 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 		return nil, err
 	}
 
-	sessions := make([]*Session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
+	sessions := s.sessions.snapshot()
+	for _, sess := range sessions {
 		sess.beginRecoveryUnconditional()
-		sessions = append(sessions, sess)
 	}
 	metrics.Recovery.RecoveriesCompleted.Inc()
 	if tap := s.cfg.Tap; tap != nil {
@@ -177,10 +163,10 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 // returns the LSN of the last valid (persistent) record.
 func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
 	shell := func(id string) *Session {
-		sess, ok := s.sessions[id]
-		if !ok {
+		sess := s.sessions.get(id)
+		if sess == nil {
 			sess = newSession(s, id, "", false)
-			s.sessions[id] = sess
+			s.sessions.insert(sess)
 		}
 		return sess
 	}
@@ -246,7 +232,7 @@ func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
 			}
 			// Records between the orphan record and this EOS were skipped
 			// by a past orphan recovery: make them invisible (§4.1).
-			if sess, ok := s.sessions[rec.Session]; ok {
+			if sess := s.sessions.get(rec.Session); sess != nil {
 				sess.pos.removeRange(rec.Orphan, lsn)
 			}
 		case logrec.TSessionEnd:
@@ -254,7 +240,7 @@ func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
 			if err != nil {
 				return err
 			}
-			delete(s.sessions, rec.Session)
+			s.sessions.delete(rec.Session)
 		case logrec.TRecoveryInfo:
 			rec, err := logrec.DecodeRecoveryInfo(payload)
 			if err != nil {

@@ -101,9 +101,16 @@ type Server struct {
 	know  *dv.Knowledge
 	epoch atomic.Uint32 // current epoch (failure-free period)
 
-	mu       sync.Mutex
-	state    serverState
-	sessions map[string]*Session
+	// state is read on every request (hot path) and so kept atomic;
+	// stateMu serializes transitions with goBackground's WaitGroup
+	// increment (see goBackground) — it is never taken on the hot path.
+	stateMu sync.Mutex
+	state   atomic.Int32 // serverState
+
+	// sessions is lock-striped (see shards.go); shared is immutable
+	// after Start (built from Def.Shared before any worker runs), each
+	// variable carrying its own lock.
+	sessions sessionTable
 	shared   map[string]*SharedVar
 
 	reqCh chan rpc.Request
@@ -169,14 +176,14 @@ func Start(cfg Config) (*Server, error) {
 		cfg.PeerProbeEvery = 100 * time.Millisecond
 	}
 	s := &Server{
-		cfg:      cfg,
-		know:     dv.NewKnowledge(),
-		state:    stateRecovering,
-		sessions: make(map[string]*Session),
-		shared:   make(map[string]*SharedVar),
-		reqCh:    make(chan rpc.Request, 4096),
-		stop:     make(chan struct{}),
+		cfg:    cfg,
+		know:   dv.NewKnowledge(),
+		shared: make(map[string]*SharedVar),
+		reqCh:  make(chan rpc.Request, 4096),
+		stop:   make(chan struct{}),
 	}
+	s.state.Store(int32(stateRecovering))
+	s.sessions.init()
 	if cfg.Failpoints != nil && cfg.Disk != nil {
 		cfg.Disk.SetFailpoints(cfg.Failpoints)
 	}
@@ -264,14 +271,12 @@ func Start(cfg Config) (*Server, error) {
 // RecoveringSessions reports how many sessions are still replaying.
 // Experiment harnesses poll it to time recovery.
 func (s *Server) RecoveringSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, sess := range s.sessions {
+	s.sessions.forEach(func(sess *Session) {
 		if sess.recovering() {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -279,13 +284,13 @@ func (s *Server) RecoveringSessions() int {
 // crashed; the state check and WaitGroup increment are atomic with
 // respect to Crash, so Crash's Wait never races an Add.
 func (s *Server) goBackground(f func()) bool {
-	s.mu.Lock()
-	if s.state == stateCrashed {
-		s.mu.Unlock()
+	s.stateMu.Lock()
+	if s.getState() == stateCrashed {
+		s.stateMu.Unlock()
 		return false
 	}
 	s.wg.Add(1)
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	go func() {
 		defer s.wg.Done()
 		f()
@@ -307,15 +312,13 @@ func (s *Server) Stats() *ServerStats { return &s.stats }
 func (s *Server) Log() *wal.Log { return s.log }
 
 func (s *Server) setState(st serverState) {
-	s.mu.Lock()
-	s.state = st
-	s.mu.Unlock()
+	s.stateMu.Lock()
+	s.state.Store(int32(st))
+	s.stateMu.Unlock()
 }
 
 func (s *Server) getState() serverState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state
+	return serverState(s.state.Load())
 }
 
 // halt marks the MSP dead at this instant: the network endpoint goes
@@ -324,13 +327,13 @@ func (s *Server) getState() serverState {
 // an injected crash point halts from inside a worker or the recovery
 // path, where waiting on itself would deadlock. Idempotent.
 func (s *Server) halt() {
-	s.mu.Lock()
-	if s.state == stateCrashed {
-		s.mu.Unlock()
+	s.stateMu.Lock()
+	if s.getState() == stateCrashed {
+		s.stateMu.Unlock()
 		return
 	}
-	s.state = stateCrashed
-	s.mu.Unlock()
+	s.state.Store(int32(stateCrashed))
+	s.stateMu.Unlock()
 	s.ep.SetDown(true)
 	close(s.stop)
 	if s.log != nil {
@@ -622,7 +625,7 @@ func (s *Server) sendReply(sess *Session, to simnet.Addr, rep rpc.Reply) error {
 			rep.HasDV = true
 			rep.DV = sess.vecWithSelf()
 		} else {
-			if err := s.distributedFlush(sess.vecWithSelf()); err != nil {
+			if err := s.flushSessionDV(sess); err != nil {
 				return err
 			}
 		}
@@ -641,11 +644,16 @@ func (s *Server) finishEndSession(sess *Session, req rpc.Request) {
 	sess.seq.Advance(req.Seq)
 	//mspr:flushed-by sendReply
 	if err := s.sendReply(sess, req.From, rep); err == nil {
-		s.mu.Lock()
-		delete(s.sessions, sess.id)
-		s.mu.Unlock()
+		s.sessions.delete(sess.id)
 		sess.markEnded()
-	} else if !errors.Is(err, errOrphanDep) {
+	} else if errors.Is(err, errOrphanDep) {
+		// The end-of-session flush discovered the session is an orphan:
+		// recover it like any other reply flush would (§4.2). The end did
+		// not complete — the session stays in the table, and the client's
+		// resent End runs fresh against the recovered session.
+		sess.releaseToRecovery()
+		s.runSessionRecovery(sess)
+	} else {
 		// Unreachable dependency: the end acknowledgement could not be
 		// flushed. Keep the session; the client's resend completes the
 		// end once the peer is back.
@@ -662,34 +670,53 @@ const (
 )
 
 // lookupOrCreateSession finds the request's session, creating it for a
-// NewSession request, and acquires it for exclusive processing. Creation
-// appends the SessionStart record while holding the server lock, so a
-// session visible to the fuzzy checkpointer always has its start
-// position set — the log head never advances past a live session's
-// records.
+// NewSession request, and acquires it for exclusive processing.
+//
+// A created session is born acquired (phaseBusy): it exists on behalf of
+// this request, so a competing delivery of the same session ID backs off
+// with Busy instead of racing for a half-initialized session. The
+// SessionStart append happens OUTSIDE the shard lock — the log's own
+// mutex is the only serialization appends need — which opens a window
+// where the session is visible to the fuzzy checkpointer without a
+// start LSN. startPin (captured from the log before the session becomes
+// visible) bounds the future SessionStart LSN from below, and the
+// checkpointer clamps the log head at the pin, so a live session's
+// records are never truncated (see writeMSPCheckpoint and shards.go).
 func (s *Server) lookupOrCreateSession(req rpc.Request) (*Session, sessionStatus) {
-	s.mu.Lock()
-	sess, ok := s.sessions[req.Session]
-	if !ok {
-		if !req.NewSession && !s.cfg.StatelessSessions {
-			s.mu.Unlock()
-			return nil, sessionRejected
+	sh := s.sessions.shard(req.Session)
+	sh.mu.Lock()
+	sess, ok := sh.m[req.Session]
+	if ok {
+		sh.mu.Unlock()
+		if !sess.tryAcquire() {
+			return nil, sessionBusyNow
 		}
-		sess = newSession(s, req.Session, req.From, req.HasDV)
-		if s.cfg.Logging {
-			rec := logrec.SessionStart{Session: sess.id, ClientAddr: string(req.From), IntraDomain: req.HasDV}
-			lsn, n, err := s.appendRec(logrec.TSessionStart, rec.Encode())
-			if err != nil {
-				s.mu.Unlock()
-				return nil, sessionBusyNow // crashing underneath us
-			}
-			sess.noteStart(lsn, n)
-		}
-		s.sessions[req.Session] = sess
+		return sess, sessionOK
 	}
-	s.mu.Unlock()
-	if !sess.tryAcquire() {
-		return nil, sessionBusyNow
+	if !req.NewSession && !s.cfg.StatelessSessions {
+		sh.mu.Unlock()
+		return nil, sessionRejected
+	}
+	sess = newSession(s, req.Session, req.From, req.HasDV)
+	sess.phase = phaseBusy // born acquired; published below
+	if s.cfg.Logging {
+		sess.startPin = s.log.Next()
+	}
+	sh.m[req.Session] = sess
+	sh.mu.Unlock()
+
+	if s.cfg.Logging {
+		rec := logrec.SessionStart{Session: sess.id, ClientAddr: string(req.From), IntraDomain: req.HasDV}
+		payload := rec.Encode()
+		lsn, n, err := s.appendRec(logrec.TSessionStart, payload)
+		logrec.Recycle(payload)
+		if err != nil {
+			// Crashing underneath us: withdraw the stillborn session so
+			// no future request finds a session without a start record.
+			s.sessions.delete(req.Session)
+			return nil, sessionBusyNow
+		}
+		sess.noteStart(lsn, n)
 	}
 	return sess, sessionOK
 }
@@ -716,13 +743,16 @@ func (s *Server) invoke(sess *Session, method string, seq uint64, arg []byte) (o
 
 // mustAppend writes a log record, panicking with crashAbort if the log
 // has been closed by a concurrent crash. It returns the record's LSN and
-// on-log size.
+// on-log size. The payload — always a freshly encoded record none of the
+// callers retain — is recycled into the logrec encode-buffer pool
+// (wal.Append has copied it into the log buffer by then).
 func (s *Server) mustAppend(t logrec.Type, payload []byte) (wal.LSN, int) {
 	lsn, err := s.log.Append(byte(t), payload)
+	n := len(payload) + 9 // frame overhead
+	logrec.Recycle(payload)
 	if err != nil {
 		panic(crashAbort{err})
 	}
-	n := len(payload) + 9 // frame overhead
 	s.bytesSinceCkpt.Add(int64(n))
 	return lsn, n
 }
@@ -786,6 +816,78 @@ func (s *Server) distributedFlush(vec dv.Vector) error {
 	return firstErr
 }
 
+// flushSessionDV performs the distributed log flush dictated by the
+// session's DV plus its self-dependency — the flush every state-bearing
+// reply, before-send action and session checkpoint needs (§3.1). The
+// caller must hold the session (acquired or recovering): exclusive
+// ownership is what makes borrowing the vector without a clone safe —
+// only the owning worker ever mutates a session's vector, and it is
+// busy right here.
+func (s *Server) flushSessionDV(sess *Session) error {
+	if !s.cfg.Logging {
+		return nil
+	}
+	sess.mu.Lock()
+	vec := sess.vec //mspr:dvalias borrow: the session is exclusively held, nothing mutates the vector during the flush
+	self := dv.StateID{Epoch: s.epoch.Load(), LSN: int64(sess.stateLSN)}
+	sess.mu.Unlock()
+	s.stats.DistFlushes.Add(1)
+	if len(vec) == 0 {
+		// Dominant shape for end-client sessions with no cross-process
+		// dependencies: one local flush — no vector clone, no fan-out
+		// goroutines, no WaitGroup.
+		return s.flushTo(self)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil || errors.Is(err, errOrphanDep) {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	selfLSN := self.LSN
+	for e, lsn := range vec {
+		if e.Process == s.selfID() {
+			if e.Epoch == self.Epoch {
+				// Folded into the local flush issued below.
+				if lsn > selfLSN {
+					selfLSN = lsn
+				}
+				continue
+			}
+			// A dependency on an earlier epoch of our own settles locally
+			// without a goroutine (flushTo never blocks for it).
+			if err := s.flushTo(dv.StateID{Epoch: e.Epoch, LSN: lsn}); err != nil {
+				fail(err)
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(p dv.ProcessID, sid dv.StateID) {
+			defer wg.Done()
+			if !s.cfg.Domain.Contains(string(p)) {
+				fail(fmt.Errorf("core: dependency on %s outside service domain", p))
+				return
+			}
+			if err := s.flushPeerWithRetry(p, sid); err != nil {
+				fail(err)
+			}
+		}(e.Process, dv.StateID{Epoch: e.Epoch, LSN: lsn})
+	}
+	// The local flush runs on the calling worker, overlapping the peer
+	// flushes exactly as the dedicated goroutine used to.
+	if err := s.flushTo(dv.StateID{Epoch: self.Epoch, LSN: selfLSN}); err != nil {
+		fail(err)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // flushPeerWithRetry asks a peer to flush over the network, bounded by
 // the configured flush deadline. It converges to one of three outcomes:
 // the peer flushes (nil), the dependency is an orphan (the peer said so,
@@ -822,9 +924,7 @@ func (s *Server) flushPeerWithRetry(p dv.ProcessID, sid dv.StateID) error {
 // epoch is flushed; state from an earlier epoch either already survived
 // (≤ the recovered state number) or is an orphan.
 func (s *Server) flushTo(sid dv.StateID) error {
-	s.mu.Lock()
-	st := s.state
-	s.mu.Unlock()
+	st := s.getState()
 	epoch := s.epoch.Load()
 	if st == stateCrashed || st == stateRecovering {
 		return errUnavailable
@@ -853,14 +953,12 @@ func (s *Server) flushTo(sid dv.StateID) error {
 // DV has become an orphan. Busy sessions are caught at their next
 // interception point.
 func (s *Server) sweepOrphanSessions() {
-	s.mu.Lock()
 	var found []*Session
-	for _, sess := range s.sessions {
+	s.sessions.forEach(func(sess *Session) {
 		if _, orphan := s.know.OrphanIn(sess.vecLocked()); orphan && sess.tryBeginRecovery() {
 			found = append(found, sess)
 		}
-	}
-	s.mu.Unlock()
+	})
 	for _, sess := range found {
 		sess := sess
 		if !s.goBackground(func() { s.runSessionRecovery(sess) }) {
@@ -897,23 +995,54 @@ func (s *Server) maybeMSPCheckpoint() {
 // recovered state numbers plus each session's and shared variable's most
 // recent checkpoint position, then records the checkpoint's LSN in the
 // log anchor.
+//
+// The new log head is the minimal position over every recovery starting
+// point, additionally clamped at the barrier — the log's append position
+// captured BEFORE the table scan. The clamp is what makes the fuzzy
+// checkpoint safe against the striped table: a session inserted after
+// its shard was scanned (invisible to the checkpoint) appends its
+// SessionStart at an LSN ≥ its startPin ≥ the barrier, so the head never
+// advances past it; a session scanned while still starting (visible but
+// without a published start LSN) pins the head at its startPin and is
+// left out of the checkpoint's position list — the recovery scan, which
+// starts at the head, finds its SessionStart record directly.
 func (s *Server) writeMSPCheckpoint() error {
+	barrier := s.log.Next()
 	ck := logrec.MSPCheckpoint{
 		Epoch:     s.epoch.Load(),
 		Knowledge: s.know.Snapshot(),
 	}
-	s.mu.Lock()
-	for _, sess := range s.sessions {
-		cp, start := sess.ckptPositions()
+	head := barrier
+	lower := func(p wal.LSN) {
+		if p != 0 && p < head {
+			head = p
+		}
+	}
+	s.sessions.forEach(func(sess *Session) {
+		cp, start, pin := sess.ckptPositions()
+		if cp == 0 && start == 0 {
+			// Still starting: its SessionStart append is in flight.
+			lower(pin)
+			return
+		}
 		ck.Sessions = append(ck.Sessions, logrec.SessionPos{ID: sess.id, CkptLSN: cp, StartLSN: start})
 		sess.bumpMSPCkptAge()
-	}
+		if cp != 0 {
+			lower(cp)
+		} else {
+			lower(start)
+		}
+	})
 	for _, sv := range s.shared {
 		cp, first := sv.ckptPositions()
 		ck.Shared = append(ck.Shared, logrec.SharedPos{Name: sv.name, CkptLSN: cp, FirstWrite: first})
 		sv.bumpMSPCkptAge()
+		if cp != 0 {
+			lower(cp)
+		} else {
+			lower(first)
+		}
 	}
-	s.mu.Unlock()
 
 	ckPayload := ck.Encode()
 	lsn, _, err := s.appendRec(logrec.TMSPCheckpoint, ckPayload)
@@ -922,28 +1051,6 @@ func (s *Server) writeMSPCheckpoint() error {
 	}
 	if err := s.log.Flush(lsn); err != nil {
 		return err
-	}
-	// The minimal checkpoint position is both the crash-recovery scan
-	// start and the new log head: everything below it is dead (§3.4).
-	head := lsn
-	lower := func(p wal.LSN) {
-		if p != 0 && p < head {
-			head = p
-		}
-	}
-	for _, sp := range ck.Sessions {
-		if sp.CkptLSN != 0 {
-			lower(sp.CkptLSN)
-		} else {
-			lower(sp.StartLSN)
-		}
-	}
-	for _, sh := range ck.Shared {
-		if sh.CkptLSN != 0 {
-			lower(sh.CkptLSN)
-		} else {
-			lower(sh.FirstWrite)
-		}
 	}
 	if err := s.evalCrashPoint(FPCkptBeforeAnchor); err != nil {
 		return err
@@ -975,20 +1082,18 @@ func (s *Server) forceStaleCheckpoints() {
 	if s.cfg.ForceCkptAfter <= 0 {
 		return
 	}
-	s.mu.Lock()
 	var staleSessions []*Session
 	var staleVars []*SharedVar
-	for _, sess := range s.sessions {
+	s.sessions.forEach(func(sess *Session) {
 		if sess.mspCkptAge() >= s.cfg.ForceCkptAfter {
 			staleSessions = append(staleSessions, sess)
 		}
-	}
+	})
 	for _, sv := range s.shared {
 		if sv.mspCkptAge() >= s.cfg.ForceCkptAfter && sv.written() {
 			staleVars = append(staleVars, sv)
 		}
 	}
-	s.mu.Unlock()
 	for _, sess := range staleSessions {
 		if !sess.tryAcquire() {
 			continue // busy or recovering; it will checkpoint on its own
@@ -1006,7 +1111,7 @@ func (s *Server) forceStaleCheckpoints() {
 // orphan), then one record holding the complete session state. The caller
 // must hold the session (acquired).
 func (s *Server) checkpointSession(sess *Session) error {
-	if err := s.distributedFlush(sess.vecWithSelf()); err != nil {
+	if err := s.flushSessionDV(sess); err != nil {
 		return err
 	}
 	rec := sess.checkpointRecord()

@@ -51,6 +51,14 @@ type Session struct {
 	startLSN     wal.LSN // LSN of the session's first log record
 	lastCkptLSN  wal.LSN // LSN of the most recent session checkpoint (0 = none)
 	mspCkptsPast int     // MSP checkpoints since the last session checkpoint
+
+	// startPin is the log's append position captured before the session
+	// became visible in the (striped) session table, written once before
+	// publication. Until noteStart publishes the real start LSN, the
+	// fuzzy checkpointer clamps the log head at the pin: the SessionStart
+	// record, appended outside the shard lock, can only land at an LSN ≥
+	// startPin (see lookupOrCreateSession and writeMSPCheckpoint).
+	startPin wal.LSN
 }
 
 // outSession is the client side of a session this session started with
@@ -165,8 +173,7 @@ func (se *Session) vecLocked() dv.Vector {
 func (se *Session) vecWithSelf() dv.Vector {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	v := se.vec.Clone()
-	return v.Set(se.srv.selfID(), dv.StateID{Epoch: se.srv.epoch.Load(), LSN: int64(se.stateLSN)})
+	return se.vec.CloneWith(dv.Entry{Process: se.srv.selfID(), Epoch: se.srv.epoch.Load()}, int64(se.stateLSN))
 }
 
 // state returns the session's current state identifier.
@@ -267,11 +274,13 @@ func (se *Session) outSession(target string) *outSession {
 }
 
 // ckptPositions returns the session's recovery starting points for
-// inclusion in an MSP checkpoint.
-func (se *Session) ckptPositions() (ckpt, start wal.LSN) {
+// inclusion in an MSP checkpoint, plus the pre-publication pin the
+// checkpointer falls back to while the session is still starting
+// (ckpt and start both zero).
+func (se *Session) ckptPositions() (ckpt, start, pin wal.LSN) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.lastCkptLSN, se.startLSN
+	return se.lastCkptLSN, se.startLSN, se.startPin
 }
 
 func (se *Session) bumpMSPCkptAge() {

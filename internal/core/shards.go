@@ -1,0 +1,112 @@
+package core
+
+import "sync"
+
+// The session table is lock-striped (§5.5 scalability): requests for
+// different sessions proceed through disjoint shard locks instead of
+// funneling through one server-wide mutex, so the request hot path
+// scales with cores. Shard selection hashes the session ID with FNV-1a.
+//
+// The striping changes the fuzzy checkpointer's visibility contract.
+// With a single table lock, a session was either fully created (start
+// record appended, start LSN published) or invisible; with shards, the
+// SessionStart append happens OUTSIDE the shard lock, so the
+// checkpointer can observe a session that exists but has no start LSN
+// yet ("starting"). Two mechanisms keep the log head from advancing
+// past such a session's records (see writeMSPCheckpoint):
+//
+//   - every starting session carries startPin, the log's append
+//     position captured before the session became visible; its future
+//     SessionStart LSN is ≥ startPin, so the head is clamped at the pin;
+//   - the checkpointer additionally clamps the head at the log position
+//     captured before its table scan (the barrier), which covers
+//     sessions inserted after their shard was scanned.
+
+// numShards is the stripe count. Power of two so shard selection is a
+// mask; 64 stripes keep contention negligible for the default 32-worker
+// pool without bloating the per-server footprint.
+const numShards = 64
+
+// sessionShard is one stripe: a mutex and the sessions hashed to it.
+// Padding keeps adjacent shards' locks off the same cache line.
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[string]*Session
+	_  [32]byte
+}
+
+// sessionTable is the lock-striped session table.
+type sessionTable struct {
+	shards [numShards]sessionShard
+}
+
+func (t *sessionTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*Session)
+	}
+}
+
+// fnv1a is the 32-bit FNV-1a hash of s.
+func fnv1a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// shard returns the stripe responsible for the given session ID.
+func (t *sessionTable) shard(id string) *sessionShard {
+	return &t.shards[fnv1a(id)&(numShards-1)]
+}
+
+// get returns the session with the given ID, or nil.
+func (t *sessionTable) get(id string) *Session {
+	sh := t.shard(id)
+	sh.mu.RLock()
+	sess := sh.m[id]
+	sh.mu.RUnlock()
+	return sess
+}
+
+// insert adds a session (overwriting any previous entry with the ID).
+func (t *sessionTable) insert(sess *Session) {
+	sh := t.shard(sess.id)
+	sh.mu.Lock()
+	sh.m[sess.id] = sess
+	sh.mu.Unlock()
+}
+
+// delete removes the session with the given ID.
+func (t *sessionTable) delete(id string) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// forEach calls fn for every session, holding one shard's read lock at
+// a time. Sessions inserted or deleted concurrently may or may not be
+// visited; fn must not call back into the table.
+func (t *sessionTable) forEach(fn func(*Session)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, sess := range sh.m {
+			fn(sess)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// snapshot returns the sessions present at some point during the call.
+func (t *sessionTable) snapshot() []*Session {
+	var out []*Session
+	t.forEach(func(sess *Session) { out = append(out, sess) })
+	return out
+}

@@ -83,15 +83,13 @@ func TestTransitiveDependencyPropagation(t *testing.T) {
 	}
 	// Inspect msp1's only session's DV.
 	srv := ce.e.srvs["msp1"]
-	srv.mu.Lock()
 	var vec map[string]bool
-	for _, sess := range srv.sessions {
+	srv.sessions.forEach(func(sess *Session) {
 		vec = map[string]bool{}
 		for e := range sess.vecSnapshot() {
 			vec[string(e.Process)] = true
 		}
-	}
-	srv.mu.Unlock()
+	})
 	if !vec["msp2"] || !vec["msp3"] {
 		t.Fatalf("msp1 session DV lacks transitive dependencies: %v", vec)
 	}

@@ -90,6 +90,21 @@ func (v Vector) Clone() Vector {
 	return c
 }
 
+// CloneWith returns an independent copy of v with the dependency e set to
+// at least lsn. It is Clone followed by Set, but sizes the copy for the
+// extra entry up front so the hot path (a session's vector plus its own
+// current state) costs a single allocation.
+func (v Vector) CloneWith(e Entry, lsn int64) Vector {
+	c := make(Vector, len(v)+1)
+	for k, x := range v {
+		c[k] = x
+	}
+	if cur, ok := c[e]; !ok || cur < lsn {
+		c[e] = lsn
+	}
+	return c
+}
+
 // Merge folds other into v by item-wise maximization and returns the
 // (possibly newly allocated) result. The receiver is modified in place
 // when non-nil.

@@ -11,7 +11,8 @@ import (
 // state it depends on is durable. Concretely, every call that emits a
 // message (simnet.Endpoint.Send, core.Server.sendReply) must be
 // intra-procedurally preceded by a dominating flush (wal.Log.Flush,
-// Server.distributedFlush or Server.flushTo) or carry an
+// Server.distributedFlush, Server.flushSessionDV or Server.flushTo) or
+// carry an
 // //mspr:flushed-by <func> directive naming the wrapper that performs
 // (or deliberately omits, "none <reason>") the flush. Function literals
 // are separate scopes: a flush before `go func(){ send }()` does not
@@ -52,6 +53,7 @@ func checkFlushScope(ctx *Context, pkg *Package, fs funcScope) {
 		switch {
 		case isMethod(fn, "mspr/internal/wal", "Log", "Flush"),
 			isMethod(fn, "mspr/internal/core", "Server", "distributedFlush"),
+			isMethod(fn, "mspr/internal/core", "Server", "flushSessionDV"),
 			isMethod(fn, "mspr/internal/core", "Server", "flushTo"):
 			flushes = append(flushes, call.Pos())
 		case isMethod(fn, "mspr/internal/simnet", "Endpoint", "Send"),

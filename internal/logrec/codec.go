@@ -5,12 +5,53 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"mspr/internal/dv"
 )
 
 // enc is a tiny append-only encoder used by all record types.
 type enc struct{ b []byte }
+
+// Encode buffers are pooled: the request hot path encodes a record,
+// appends it to the WAL (which copies the payload into its own batch
+// buffer), and is then done with the bytes. Two pools make the cycle
+// allocation-free in steady state: bufPool holds loaded buffers ready to
+// encode into, shellPool holds the empty *encBuf boxes so re-pooling a
+// buffer does not allocate a fresh box each time.
+type encBuf struct{ b []byte }
+
+var (
+	bufPool   sync.Pool // *encBuf with cap(b) > 0
+	shellPool = sync.Pool{New: func() any { return new(encBuf) }}
+)
+
+// newEnc returns an encoder backed by a pooled buffer when one is
+// available.
+func newEnc() enc {
+	if v := bufPool.Get(); v != nil {
+		eb := v.(*encBuf)
+		b := eb.b[:0]
+		eb.b = nil
+		shellPool.Put(eb)
+		return enc{b: b}
+	}
+	return enc{b: make([]byte, 0, 256)}
+}
+
+// Recycle returns an encoded payload's buffer to the pool. Callers may
+// only recycle a payload after every reader has copied it (wal.Append
+// copies into its batch buffer synchronously, so recycling right after a
+// successful or failed Append is safe). Tiny and oversized buffers are
+// dropped to keep the pool from pinning outliers.
+func Recycle(p []byte) {
+	if cap(p) < 64 || cap(p) > 1<<16 {
+		return
+	}
+	eb := shellPool.Get().(*encBuf)
+	eb.b = p[:0]
+	bufPool.Put(eb)
+}
 
 func (e *enc) u8(v byte)       { e.b = append(e.b, v) }
 func (e *enc) u32(v uint32)    { e.b = binary.AppendUvarint(e.b, uint64(v)) }

@@ -77,7 +77,7 @@ type ReqReceive struct {
 
 // Encode serializes the record payload.
 func (r ReqReceive) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	e.u64(r.Seq)
 	e.str(r.Method)
@@ -119,7 +119,7 @@ type ReplyReceive struct {
 
 // Encode serializes the record payload.
 func (r ReplyReceive) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	e.str(r.OutSession)
 	e.u64(r.Seq)
@@ -160,7 +160,7 @@ type SharedRead struct {
 
 // Encode serializes the record payload.
 func (r SharedRead) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	e.str(r.Var)
 	e.bytes(r.Value)
@@ -194,7 +194,7 @@ type SharedWrite struct {
 
 // Encode serializes the record payload.
 func (r SharedWrite) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	e.str(r.Var)
 	e.bytes(r.Value)
@@ -225,7 +225,7 @@ type SVCheckpoint struct {
 
 // Encode serializes the record payload.
 func (r SVCheckpoint) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Var)
 	e.bytes(r.Value)
 	return e.b
@@ -271,7 +271,7 @@ type SessionCheckpoint struct {
 
 // Encode serializes the record payload.
 func (r SessionCheckpoint) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	e.str(r.ClientAddr)
 	e.boolv(r.IntraDomain)
@@ -330,7 +330,7 @@ type SessionStart struct {
 
 // Encode serializes the record payload.
 func (r SessionStart) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	e.str(r.ClientAddr)
 	e.boolv(r.IntraDomain)
@@ -355,7 +355,7 @@ type SessionEnd struct {
 
 // Encode serializes the record payload.
 func (r SessionEnd) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	return e.b
 }
@@ -379,7 +379,7 @@ type EOS struct {
 
 // Encode serializes the record payload.
 func (r EOS) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Session)
 	e.i64(int64(r.Orphan))
 	return e.b
@@ -404,7 +404,7 @@ type RecoveryInfo struct {
 
 // Encode serializes the record payload.
 func (r RecoveryInfo) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.str(r.Process)
 	e.u32(r.CrashedEpoch)
 	e.i64(int64(r.Recovered))
@@ -452,7 +452,7 @@ type MSPCheckpoint struct {
 
 // Encode serializes the record payload.
 func (r MSPCheckpoint) Encode() []byte {
-	var e enc
+	e := newEnc()
 	e.u32(r.Epoch)
 	e.u64(uint64(len(r.Knowledge)))
 	for _, k := range r.Knowledge {

@@ -91,3 +91,28 @@ type NetCounters struct {
 
 // Net holds the process-wide network and control-plane counters.
 var Net NetCounters
+
+// WalCounters is the observability surface of the log layer's group
+// commit (§5.5): how often the persistent flusher ran, how many flush
+// requests each write served, and how often the adaptive batch window
+// was held open. Coalescing effectiveness is
+// GroupCommitBatchWaiters / GroupCommitBatches (average requests per
+// physical write).
+type WalCounters struct {
+	// GroupCommitWaits counts Flush calls that entered the group-commit
+	// path (batching enabled, records not yet durable).
+	GroupCommitWaits Counter
+	// GroupCommitBatches counts physical flushes issued by the persistent
+	// flusher loop.
+	GroupCommitBatches Counter
+	// GroupCommitBatchWaiters sums the number of waiters observed at each
+	// flusher-issued flush — the batch sizes.
+	GroupCommitBatchWaiters Counter
+	// GroupCommitWindows counts flushes that held the adaptive batch
+	// window open because more than one waiter was queued; a lone waiter
+	// is flushed immediately and never pays the window as latency.
+	GroupCommitWindows Counter
+}
+
+// Wal holds the process-wide log-layer counters.
+var Wal WalCounters

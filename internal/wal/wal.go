@@ -121,15 +121,23 @@ type Log struct {
 	durable    LSN        // exclusive durable frontier
 	pending    []byte     // region being written by an in-flight flush
 	pendStart  LSN        // LSN of pending[0]
+	spare      []byte     // retired append buffer, reused by the next Append
 	flushGen   int64      // increments when a flush completes
-	batchArm   bool       // a batch timer is running
+	waiters    int        // Flush calls waiting on the durable frontier
 	closed     bool
 	flushErr   error
 	appendSeal bool // reject appends (used only by tests simulating a wedged log)
 
+	// flushReq wakes the persistent group-commit flusher (flusherLoop).
+	// Buffered with capacity 1: a send coalesces with an already-pending
+	// wakeup, and the channel is never closed (Close signals through it
+	// and the loop exits on the closed flag).
+	flushReq chan struct{}
+
 	tornFrom int64 // device offset of a torn tail found by the last Scan (0 = none)
 
 	flushMu sync.Mutex // serializes physical flushes
+	block   []byte     // flush scratch: the padded sector-aligned write block (guarded by flushMu)
 
 	anchorMu  sync.Mutex // guards anchorSeq and anchor-slot writes
 	anchorSeq uint64     // sequence number of the newest valid anchor slot
@@ -196,6 +204,10 @@ func Open(disk *simdisk.Disk, name string, cfg Config) (*Log, error) {
 			l.anchorSeq = seq
 		}
 	}
+	if cfg.BatchTimeout > 0 {
+		l.flushReq = make(chan struct{}, 1)
+		go l.flusherLoop()
+	}
 	return l, nil
 }
 
@@ -229,6 +241,12 @@ func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
 		l.mu.Lock()
 	}
 	lsn := l.nextLSN
+	if l.buf == nil && l.spare != nil {
+		// Reuse the buffer retired by the last completed flush instead of
+		// growing a fresh one from nil.
+		l.buf = l.spare
+		l.spare = nil
+	}
 	l.buf = appendFrame(l.buf, typ, payload)
 	l.nextLSN += LSN(len(payload) + frameOverhead)
 	l.mu.Unlock()
@@ -239,10 +257,11 @@ func appendFrame(buf []byte, typ byte, payload []byte) []byte {
 	buf = append(buf, typ)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
-	crc := crc32.NewIEEE()
-	crc.Write([]byte{typ})
-	crc.Write(payload)
-	buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+	// crc32.Update avoids allocating a hasher per record on the append
+	// hot path (the type-byte slice stays on the stack).
+	crc := crc32.Update(0, crc32.IEEETable, []byte{typ})
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
 	return buf
 }
 
@@ -273,8 +292,9 @@ func (l *Log) LastAppended() LSN {
 }
 
 // Flush makes every record with LSN ≤ upTo durable. With batch flushing
-// enabled the request waits for the batch timeout so concurrent requests
-// share a single write; otherwise the flush is issued immediately.
+// enabled the request is handed to the persistent group-commit flusher so
+// concurrent requests share a single write; otherwise the flush is issued
+// immediately on the caller.
 func (l *Log) Flush(upTo LSN) error {
 	l.mu.Lock()
 	if upTo < l.durable {
@@ -285,15 +305,25 @@ func (l *Log) Flush(upTo LSN) error {
 		l.mu.Unlock()
 		return l.flushNow(upTo)
 	}
-	// Batch flushing: arm the timer if nobody has, then wait until the
-	// durable frontier covers us.
-	if !l.batchArm {
-		l.batchArm = true
-		go l.batchFlusher()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wal: log closed during flush")
 	}
+	// Group commit: register as a waiter, wake the flusher, and wait until
+	// the durable frontier covers us (or the log dies under us). The
+	// flusher is a long-lived goroutine, so a request arriving while a
+	// flush is in flight is picked up as soon as that flush completes —
+	// there is no re-arm window during which a waiter can oversleep.
+	l.waiters++
+	select {
+	case l.flushReq <- struct{}{}:
+	default: // a wakeup is already pending; it will cover us
+	}
+	metrics.Wal.GroupCommitWaits.Inc()
 	for l.durable <= upTo && l.flushErr == nil && !l.closed {
 		l.cond.Wait()
 	}
+	l.waiters--
 	err := l.flushErr
 	closed := l.closed && l.durable <= upTo
 	l.mu.Unlock()
@@ -306,24 +336,53 @@ func (l *Log) Flush(upTo LSN) error {
 	return nil
 }
 
-// batchFlusher waits the (scaled) batch timeout, then performs one flush
-// for everything buffered at that point.
-func (l *Log) batchFlusher() {
+// flusherLoop is the persistent group-commit flusher: one long-lived
+// goroutine per log that serves every batched Flush. The batch window is
+// adaptive (§5.5): a lone waiter is flushed immediately (an idle system
+// should not pay the window as latency), while concurrent waiters hold
+// the window open so their records share one sector-aligned write. Errors
+// reach waiters through the sticky flushErr set inside flushNow; Close
+// wakes the loop through flushReq and it exits on the closed flag.
+func (l *Log) flusherLoop() {
 	scaled := time.Duration(float64(l.cfg.BatchTimeout) * l.disk.Model().TimeScale)
 	if scaled <= 0 {
 		// Batching is a behavioural delay, not a modelled disk latency:
 		// keep a small window even at TimeScale 0 so requests can combine.
 		scaled = 100 * time.Microsecond
 	}
-	simtime.Sleep(scaled)
-	l.mu.Lock()
-	l.batchArm = false
-	upTo := l.nextLSN - 1
-	l.mu.Unlock()
-	if err := l.flushNow(upTo); err != nil {
+	// loaded records that the previous flush left waiters behind (or more
+	// arrived during it): the burst is still going, so the next batch
+	// holds the window open even if only one waiter has registered yet.
+	loaded := false
+	for range l.flushReq {
 		l.mu.Lock()
-		l.flushErr = err
-		l.cond.Broadcast()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		contended := loaded || l.waiters > 1
+		l.mu.Unlock()
+		if contended {
+			metrics.Wal.GroupCommitWindows.Inc()
+			simtime.Sleep(scaled)
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		upTo := l.nextLSN - 1
+		served := int64(l.waiters)
+		l.mu.Unlock()
+		metrics.Wal.GroupCommitBatches.Inc()
+		metrics.Wal.GroupCommitBatchWaiters.Add(served)
+		// flushNow's error is delivered to waiters via the sticky flushErr
+		// (set and broadcast inside); the loop keeps draining wakeups so
+		// late waiters observe the error instead of hanging.
+		//mspr:walerr error is sticky in flushErr and observed by every waiter
+		_ = l.flushNow(upTo)
+		l.mu.Lock()
+		loaded = l.waiters > 0
 		l.mu.Unlock()
 	}
 }
@@ -367,8 +426,17 @@ func (l *Log) flushNow(upTo LSN) error {
 	start := l.bufStart
 	padded := alignUp(int64(start) + int64(len(data)))
 	waste := int(padded - int64(start) - int64(len(data)))
-	block := make([]byte, padded-int64(start))
-	copy(block, data)
+	// The write block is scratch reused across flushes (flushMu is held
+	// throughout): the disk copies it during WriteAt, so only the pad
+	// region needs explicit zeroing.
+	need := int(padded - int64(start))
+	if cap(l.block) < need {
+		l.block = make([]byte, need)
+	}
+	block := l.block[:need]
+	for i := copy(block, data); i < need; i++ {
+		block[i] = 0
+	}
 	l.pending = data
 	l.pendStart = start
 	l.buf = nil
@@ -399,6 +467,9 @@ func (l *Log) flushNow(upTo LSN) error {
 	l.mu.Lock()
 	l.durable = LSN(padded)
 	l.pending = nil
+	// The retired append buffer becomes the spare: no reader can reach it
+	// once pending is cleared (ReadRecord copies payloads under l.mu).
+	l.spare = data[:0]
 	l.flushGen++
 	l.cond.Broadcast()
 	l.mu.Unlock()
@@ -542,10 +613,9 @@ func parseFrame(b []byte) (typ byte, payload []byte, size int, err error) {
 	}
 	payload = b[5 : 5+n]
 	want := binary.LittleEndian.Uint32(b[5+n : 5+n+4])
-	crc := crc32.NewIEEE()
-	crc.Write(b[:1])
-	crc.Write(payload)
-	if crc.Sum32() != want {
+	crc := crc32.Update(0, crc32.IEEETable, b[:1])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != want {
 		return 0, nil, 0, fmt.Errorf("wal: bad crc at record")
 	}
 	return typ, payload, frameOverhead + n, nil
@@ -856,6 +926,15 @@ func (l *Log) Close() error {
 	l.closed = true
 	l.cond.Broadcast()
 	l.mu.Unlock()
+	if l.flushReq != nil {
+		// Wake the group-commit flusher so it observes closed and exits.
+		// The channel is buffered: if a wakeup is already pending the
+		// flusher is about to run anyway, and it re-checks closed.
+		select {
+		case l.flushReq <- struct{}{}:
+		default:
+		}
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -249,16 +250,22 @@ func TestBatchFlushCombinesWrites(t *testing.T) {
 	}
 	const n = 8
 	errs := make(chan error, n)
+	// Append everything first, then release all flush requests at once:
+	// the test measures the group-commit window's combining, not the
+	// scheduler's luck in overlapping appends with flushes.
+	var start sync.WaitGroup
+	start.Add(1)
 	for i := 0; i < n; i++ {
-		go func(i int) {
-			lsn, err := l.Append(1, []byte{byte(i)})
-			if err != nil {
-				errs <- err
-				return
-			}
+		lsn, err := l.Append(1, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(lsn LSN) {
+			start.Wait()
 			errs <- l.Flush(lsn)
-		}(i)
+		}(lsn)
 	}
+	start.Done()
 	for i := 0; i < n; i++ {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
