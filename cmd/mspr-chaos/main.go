@@ -65,6 +65,7 @@ type stormConfig struct {
 	loss, dup   float64
 	scale       float64
 	batch       time.Duration
+	segSize     int64
 	failpoints  bool
 	partitions  bool
 	oracle      bool
@@ -74,10 +75,11 @@ type stormConfig struct {
 // storm is one built system: workload, fault set, the recorder (nil
 // without -oracle) and a teardown.
 type storm struct {
-	w      chaos.Workload
-	faults []chaos.Fault
-	rec    *oracle.Recorder
-	close  func()
+	w        chaos.Workload
+	faults   []chaos.Fault
+	rec      *oracle.Recorder
+	restarts *chaos.RestartTimes
+	close    func()
 }
 
 // buildStorm assembles the fresh system: network, ledger, back and front
@@ -157,6 +159,16 @@ func buildStorm(c stormConfig) (*storm, error) {
 		cfg.TimeScale = c.scale
 		cfg.BatchFlushTimeout = c.batch
 		cfg.Failpoints = fp
+		if c.segSize > 0 {
+			// A bounded-disk storm: tiny segments force frequent rotation,
+			// and checkpoint cadence scaled to the segment size keeps
+			// truncation reclaiming them (a checkpoint every ~4 segments of
+			// log, sessions refreshed every ~2), so the live log stays a
+			// small multiple of the segment size throughout.
+			cfg.WalSegmentSize = c.segSize
+			cfg.MSPCkptEvery = 4 * c.segSize
+			cfg.SessionCkptThreshold = 2 * c.segSize
+		}
 		if rec != nil {
 			cfg.Tap = rec
 		}
@@ -192,22 +204,28 @@ func buildStorm(c stormConfig) (*storm, error) {
 	}
 
 	var procMu sync.Mutex
+	restarts := &chaos.RestartTimes{}
 	// On a failed Start (an armed point crashed recovery itself) the old
 	// pointer is kept: its Crash is idempotent, so the fault's retry can
-	// crash-restart again.
+	// crash-restart again. Successful restarts record their crash-to-ready
+	// wall-clock duration, so the storm report bounds recovery time.
 	restartFront := func() error {
+		t0 := time.Now()
 		front.Crash()
 		s, err := core.Start(frontCfg)
 		if err == nil {
 			front = s
+			restarts.Observe(time.Since(t0))
 		}
 		return err
 	}
 	restartBack := func() error {
+		t0 := time.Now()
 		back.Crash()
 		s, err := core.Start(backCfg)
 		if err == nil {
 			back = s
+			restarts.Observe(time.Since(t0))
 		}
 		return err
 	}
@@ -240,6 +258,21 @@ func buildStorm(c stormConfig) (*storm, error) {
 			// The ledger fault wedges a commit mid-flight (journal record
 			// durable, acknowledgement lost) and then restarts the store;
 			// testable transactions must absorb the client's resend.
+			// Rotation and truncation crash points: crash the log's segment
+			// machinery at each step of its protocol (before the new segment
+			// file exists, between create and anchor update, after the
+			// anchor, and between truncation's segment deletions). With a
+			// small -segment-size every step is reached constantly.
+			chaos.CrashPointFault("front-crash-rotate-pre-create", &procMu, fpFront,
+				wal.FPRotateBeforeCreate, restartFront),
+			chaos.CrashPointFault("front-crash-rotate-orphan", &procMu, fpFront,
+				wal.FPRotateAfterCreate, restartFront),
+			chaos.CrashPointFault("back-crash-rotate-post-anchor", &procMu, fpBack,
+				wal.FPRotateAfterAnchor, restartBack),
+			chaos.CrashPointFault("front-crash-mid-truncate", &procMu, fpFront,
+				wal.FPTruncateCrash, restartFront),
+			chaos.CrashPointFault("back-crash-mid-truncate", &procMu, fpBack,
+				wal.FPTruncateCrash, restartBack),
 			chaos.Fault{Name: "wedge-ledger", Fire: func() error {
 				before := fpLedger.Hits(sdb.FPCommitCrash)
 				fpLedger.Enable(sdb.FPCommitCrash, failpoint.Times(1))
@@ -340,7 +373,7 @@ func buildStorm(c stormConfig) (*storm, error) {
 			return nil
 		},
 	}
-	st := &storm{w: w, faults: faults, rec: rec}
+	st := &storm{w: w, faults: faults, rec: rec, restarts: restarts}
 	st.close = func() {
 		procMu.Lock()
 		front.Crash()
@@ -374,6 +407,8 @@ func main() {
 	scale := flag.Float64("scale", 0.005, "time scale")
 	batchFlush := flag.Duration("batch-flush", 8*time.Millisecond,
 		"group-commit batch window in model time (0 = flush each record immediately)")
+	segSize := flag.Int64("segment-size", 0,
+		"log segment data capacity in bytes (0 = the 4 MB default); a small value forces constant rotation and truncation, and scales the checkpoint cadence to match")
 	failpoints := flag.Bool("failpoints", false,
 		"arm the injected crash surface: torn log writes, anchor corruption, crashes inside recovery, mid-commit store crashes")
 	partitions := flag.Bool("partitions", false,
@@ -391,7 +426,7 @@ func main() {
 	cfg := stormConfig{
 		actors: *actors, ops: *ops, seed: *seed,
 		loss: *loss, dup: *dup, scale: *scale,
-		batch:      *batchFlush,
+		batch: *batchFlush, segSize: *segSize,
 		failpoints: *failpoints, partitions: *partitions,
 		oracle: *useOracle, breakDedup: *breakDedup,
 	}
@@ -469,6 +504,12 @@ func main() {
 		fmt.Printf("wal: groupCommitBatches=%d waitersPerBatch=%.2f windowsHeld=%d waits=%d\n",
 			batches, float64(w.GroupCommitBatchWaiters.Load())/float64(batches),
 			w.GroupCommitWindows.Load(), w.GroupCommitWaits.Load())
+	}
+	fmt.Printf("wal: rotations=%d segmentsLive=%d segmentsReclaimed=%d liveLogBytes=%d peakLiveBytes=%d\n",
+		w.Rotations.Load(), w.SegmentsLive.Load(), w.SegmentsReclaimed.Load(),
+		w.LiveLogBytes.Load(), w.PeakLiveBytes.Load())
+	if n, avg, max := st.restarts.Summary(); n > 0 {
+		fmt.Printf("recovery: restarts=%d avg=%v max=%v\n", n, avg.Round(time.Millisecond), max.Round(time.Millisecond))
 	}
 	if st.rec != nil {
 		fmt.Printf("oracle: %d events recorded\n", st.rec.Len())

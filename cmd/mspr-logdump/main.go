@@ -21,6 +21,7 @@ func main() {
 	requests := flag.Int("requests", 4, "requests to run before dumping")
 	sessions := flag.Int("sessions", 2, "concurrent client sessions")
 	withCrash := flag.Bool("crash", true, "crash and restart the MSP mid-way")
+	segSize := flag.Int64("segment-size", 0, "log segment data capacity in bytes (0 = 4 MB default); small values show rotation in the dump")
 	flag.Parse()
 
 	sim := mspr.NewSim(0.02)
@@ -42,6 +43,7 @@ func main() {
 		Shared: []mspr.SharedDef{{Name: "counter", Initial: nil}},
 	}
 	cfg := sim.NewConfig("target", dom, def)
+	cfg.WalSegmentSize = *segSize
 	srv, err := mspr.Start(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// RestartTimes aggregates crash-recovery durations observed by a storm
+// harness: each successful restart's wall-clock time from crash to a
+// ready incarnation. The harness measures the durations itself (this
+// package never reads the clock) and feeds them through Observe; the
+// end-of-storm report prints the Summary, making recovery time a
+// first-class bounded quantity next to log size.
+type RestartTimes struct {
+	mu    sync.Mutex
+	n     int
+	total time.Duration
+	max   time.Duration
+}
+
+// Observe records one restart's duration.
+func (r *RestartTimes) Observe(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	r.total += d
+	if d > r.max {
+		r.max = d
+	}
+}
+
+// Summary returns the count, mean and maximum of the observed restarts;
+// zeroes if none were recorded.
+func (r *RestartTimes) Summary() (n int, avg, max time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return 0, 0, 0
+	}
+	return r.n, r.total / time.Duration(r.n), r.max
+}

@@ -1,0 +1,20 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRestartTimesSummary(t *testing.T) {
+	var r RestartTimes
+	if n, avg, max := r.Summary(); n != 0 || avg != 0 || max != 0 {
+		t.Fatalf("empty summary = %d %v %v", n, avg, max)
+	}
+	r.Observe(10 * time.Millisecond)
+	r.Observe(30 * time.Millisecond)
+	r.Observe(20 * time.Millisecond)
+	n, avg, max := r.Summary()
+	if n != 3 || avg != 20*time.Millisecond || max != 30*time.Millisecond {
+		t.Fatalf("summary = %d %v %v, want 3 20ms 30ms", n, avg, max)
+	}
+}

@@ -84,6 +84,12 @@ type Config struct {
 	// BatchFlushTimeout enables batch flushing (group commit) with the
 	// given model timeout (§5.5); zero flushes immediately.
 	BatchFlushTimeout time.Duration
+	// WalSegmentSize is the data capacity (bytes) of one physical log
+	// segment file: the log rotates to a new segment when a flush would
+	// exceed it, and checkpoint-anchored truncation deletes whole
+	// segments below the anchor head, bounding disk usage under
+	// sustained traffic. Zero selects the log layer's 4 MB default.
+	WalSegmentSize int64
 	// TimeScale converts model latencies to wall-clock sleeps.
 	TimeScale float64
 	// SerialRecovery disables parallel session recovery, replaying the

@@ -25,8 +25,12 @@ import (
 func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 	crashedEpoch := anchor.Epoch
 	// Restore the log head recorded by the last checkpoint; the records
-	// below it were discarded by the previous incarnation.
-	s.log.TruncateHead(anchor.Head)
+	// below it were discarded by the previous incarnation. This also
+	// idempotently finishes a truncation the crash interrupted: segments
+	// wholly below the head that escaped deletion are deleted now.
+	if err := s.log.TruncateHead(anchor.Head); err != nil {
+		return nil, fmt.Errorf("restoring log head %d: %w", anchor.Head, err)
+	}
 
 	typ, payload, err := s.log.ReadRecord(anchor.CheckpointLSN)
 	if err != nil {

@@ -217,7 +217,10 @@ func Start(cfg Config) (*Server, error) {
 			s.halt()
 			return nil, errors.New("core: logging requires a Disk")
 		}
-		lg, err := wal.Open(cfg.Disk, cfg.ID+".log", wal.Config{BatchTimeout: cfg.BatchFlushTimeout})
+		lg, err := wal.Open(cfg.Disk, cfg.ID+".log", wal.Config{
+			BatchTimeout: cfg.BatchFlushTimeout,
+			SegmentSize:  cfg.WalSegmentSize,
+		})
 		if err != nil {
 			s.halt()
 			return nil, err
@@ -1064,8 +1067,14 @@ func (s *Server) writeMSPCheckpoint() error {
 	if err := s.evalCrashPoint(FPCkptBeforeTruncate); err != nil {
 		return err
 	}
-	// Only after the anchor is durable may the old records be discarded.
-	s.log.TruncateHead(head)
+	// Only after the anchor is durable may the old records be discarded;
+	// whole segments below the head are physically deleted.
+	if err := s.log.TruncateHead(head); err != nil {
+		if failpoint.IsInjected(err) {
+			s.halt() // a crash between segment deletions; recovery re-truncates
+		}
+		return err
+	}
 	s.lastMSPCkpt = lsn
 	s.bytesSinceCkpt.Store(0)
 	s.stats.MSPCkpts.Add(1)

@@ -19,6 +19,10 @@ const (
 	FPTapSkip = "fixture.tap.skip"
 	// FPTapDead is a tap point that lost its inject site.
 	FPTapDead = "fixture.tap.dead" // want "never referenced at a production inject site"
+	// FPRotateUntested mirrors a segment-rotation crash point that is
+	// injected in production but exercised by no test, storm or harness —
+	// a rotation crash window nobody ever drives must trip the analyzer.
+	FPRotateUntested = "fixture.rotate.untested" // want "not exercised by any test, chaos storm or cmd/ harness"
 )
 
 // FPStray lives outside the registry block.
@@ -27,6 +31,7 @@ const FPStray = "fixture.stray" // want "outside the package's registry const bl
 func hit(r *failpoint.Registry) {
 	r.Eval(FPInjected)
 	r.Eval(FPQuiet)
+	r.Eval(FPRotateUntested)
 	r.Eval(FPStray)
 	r.Eval(FPTapSkip)
 	r.Eval("fixture.literal") // want "string literal"

@@ -26,6 +26,7 @@ func (s *store) sloppy(payload []byte) {
 	lsn, _ := s.log.Append(1, payload) // want "error from Log.Append assigned to _"
 	_ = s.log.Flush(lsn)               // want "error from Log.Flush assigned to _"
 	s.log.WriteAnchor(wal.Anchor{})    // want "error from Log.WriteAnchor result ignored"
+	s.log.TruncateHead(0)              // want "error from Log.TruncateHead result ignored"
 	defer s.log.Close()                // want "error from Log.Close result ignored"
 	s.file.Truncate(0)                 // want "error from File.Truncate result ignored"
 }

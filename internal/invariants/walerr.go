@@ -9,10 +9,11 @@ import (
 // not be dropped: (pkgPath, typeName) -> method set.
 var walErrMethods = map[[2]string]map[string]bool{
 	{"mspr/internal/wal", "Log"}: {
-		"Append":      true,
-		"Flush":       true,
-		"WriteAnchor": true,
-		"Close":       true,
+		"Append":       true,
+		"Flush":        true,
+		"WriteAnchor":  true,
+		"TruncateHead": true,
+		"Close":        true,
 	},
 	{"mspr/internal/simdisk", "File"}: {
 		"WriteAt":  true,

@@ -22,11 +22,28 @@ type Summary struct {
 	LastLSN   wal.LSN
 	Anchor    wal.Anchor
 	HasAnchor bool
+	Segments  []SegmentDump
+}
+
+// SegmentDump describes one physical segment file of the dumped log.
+type SegmentDump struct {
+	Index    uint64
+	Name     string
+	FirstLSN wal.LSN // first record at or above the log head; 0 if none
+	LastLSN  wal.LSN // last record; 0 if none
+	Bytes    int64   // file size including the header sector
+	Records  int     // records dumped from this segment
+	Active   bool    // still appended to (the final segment)
+	// Reclaimable marks a sealed segment wholly below the anchor head:
+	// the next checkpoint truncation will physically delete it.
+	Reclaimable bool
 }
 
 // Dump prints every record of the named log on disk to w and returns a
 // summary. The log is opened read-only (a fresh handle; concurrent
-// writers' unflushed records are invisible, exactly like a crash).
+// writers' unflushed records are invisible, exactly like a crash): the
+// scan starts at the anchor head but never truncates — truncation now
+// physically deletes segment files, which a dump must never do.
 func Dump(disk *simdisk.Disk, name string, w io.Writer) (Summary, error) {
 	lg, err := wal.Open(disk, name, wal.Config{})
 	if err != nil {
@@ -34,12 +51,24 @@ func Dump(disk *simdisk.Disk, name string, w io.Writer) (Summary, error) {
 	}
 	defer lg.Close() //mspr:walerr read-only dump handle: nothing was appended, close failure cannot lose data
 	sum := Summary{ByType: make(map[logrec.Type]int)}
+	var from wal.LSN
 	if a, ok, err := lg.ReadAnchor(); err == nil && ok {
 		sum.Anchor, sum.HasAnchor = a, true
 		fmt.Fprintf(w, "anchor: epoch=%d checkpoint@%d head@%d\n", a.Epoch, a.CheckpointLSN, a.Head)
-		lg.TruncateHead(a.Head)
+		from = a.Head
 	}
-	_, err = lg.Scan(0, func(lsn wal.LSN, typ byte, payload []byte) error {
+	segs := lg.Segments()
+	for _, s := range segs {
+		sum.Segments = append(sum.Segments, SegmentDump{
+			Index:       s.Index,
+			Name:        s.Name,
+			Bytes:       s.Bytes,
+			Active:      s.End == 0,
+			Reclaimable: sum.HasAnchor && s.End != 0 && s.End <= sum.Anchor.Head,
+		})
+	}
+	si := 0
+	_, err = lg.Scan(from, func(lsn wal.LSN, typ byte, payload []byte) error {
 		t := logrec.Type(typ)
 		sum.Records++
 		sum.ByType[t]++
@@ -47,10 +76,38 @@ func Dump(disk *simdisk.Disk, name string, w io.Writer) (Summary, error) {
 			sum.FirstLSN = lsn
 		}
 		sum.LastLSN = lsn
+		// Records arrive in ascending LSN order; advance to the segment
+		// covering this one (sealed ends are exclusive).
+		for si < len(segs)-1 && segs[si].End != 0 && lsn >= segs[si].End {
+			si++
+		}
+		sd := &sum.Segments[si]
+		sd.Records++
+		if sd.FirstLSN == 0 {
+			sd.FirstLSN = lsn
+		}
+		sd.LastLSN = lsn
 		fmt.Fprintf(w, "%10d %-13s %s\n", lsn, t, Describe(t, payload))
 		return nil
 	})
-	return sum, err
+	if err != nil {
+		return sum, err
+	}
+	for _, sd := range sum.Segments {
+		state := "sealed"
+		switch {
+		case sd.Active:
+			state = "active"
+		case sd.Reclaimable:
+			state = "reclaimable"
+		}
+		span := "no records at or above head"
+		if sd.Records > 0 {
+			span = fmt.Sprintf("records %d..%d (%d)", sd.FirstLSN, sd.LastLSN, sd.Records)
+		}
+		fmt.Fprintf(w, "segment %06d %-12s %8dB %-11s %s\n", sd.Index, sd.Name, sd.Bytes, state, span)
+	}
+	return sum, nil
 }
 
 // Describe returns a one-line description of a record's payload.

@@ -70,6 +70,68 @@ func TestDumpDecodesEveryRecordType(t *testing.T) {
 	if strings.Contains(out, "UNDECODABLE") {
 		t.Fatalf("dump failed to decode a record:\n%s", out)
 	}
+	if len(sum.Segments) != 1 || sum.Segments[0].Records != len(records) || !sum.Segments[0].Active {
+		t.Fatalf("single-segment summary wrong: %+v", sum.Segments)
+	}
+}
+
+func TestDumpEnumeratesSegments(t *testing.T) {
+	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
+	lg, err := wal.Open(disk, "x.log", wal.Config{SegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []wal.LSN
+	for i := 0; i < 24; i++ {
+		lsn, err := lg.Append(byte(logrec.TSessionEnd), logrec.SessionEnd{Session: "s"}.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lg.Flush(lsn); err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	head := lsns[12]
+	if err := lg.WriteAnchor(wal.Anchor{Epoch: 1, CheckpointLSN: head, Head: head}); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+
+	var sb strings.Builder
+	sum, err := Dump(disk, "x.log", &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Segments) < 3 {
+		t.Fatalf("dump saw %d segments, want several: %+v", len(sum.Segments), sum.Segments)
+	}
+	var reclaimable, counted int
+	for i, sd := range sum.Segments {
+		if sd.Reclaimable {
+			reclaimable++
+		}
+		if sd.Active != (i == len(sum.Segments)-1) {
+			t.Fatalf("segment %d active flag wrong: %+v", i, sd)
+		}
+		counted += sd.Records
+	}
+	if reclaimable == 0 {
+		t.Fatalf("no segment marked reclaimable below head %d: %+v", head, sum.Segments)
+	}
+	if counted != sum.Records || sum.Records != 12 {
+		t.Fatalf("per-segment records %d, total %d, want 12 (records at or above head)", counted, sum.Records)
+	}
+	out := sb.String()
+	for _, want := range []string{"segment 000001", "reclaimable", "active"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, out)
+		}
+	}
+	// The dump is read-only: every segment file survives it.
+	if got := len(disk.List("x.log.0")); got != len(sum.Segments) {
+		t.Fatalf("dump deleted segment files: %d on disk, %d dumped", got, len(sum.Segments))
+	}
 }
 
 func TestDescribeCorruptPayload(t *testing.T) {

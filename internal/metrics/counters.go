@@ -15,6 +15,35 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a concurrent up/down level indicator (e.g. live segment
+// count). The zero value is ready. Layers maintaining a gauge apply
+// deltas for durable state changes only, so a process restart (which
+// re-opens the same disk state) does not double-count.
+type Gauge struct{ v atomic.Int64 }
+
+// Add applies a delta (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// MaxGauge tracks the maximum value ever observed. The zero value is
+// ready.
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe records v if it exceeds the current maximum.
+func (m *MaxGauge) Observe(v int64) {
+	for {
+		cur := m.v.Load()
+		if v <= cur || m.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far.
+func (m *MaxGauge) Load() int64 { return m.v.Load() }
+
 // RecoveryCounters is the observability surface of the recovery and
 // fault-tolerance machinery: how often recovery ran, what it replayed
 // and skipped, and which storage faults the log layer absorbed. The
@@ -112,6 +141,26 @@ type WalCounters struct {
 	// window open because more than one waiter was queued; a lone waiter
 	// is flushed immediately and never pays the window as latency.
 	GroupCommitWindows Counter
+
+	// Rotations counts log rotations: a flush that would overfill the
+	// active segment sealed it and opened the next segment file.
+	Rotations Counter
+	// SegmentsReclaimed counts whole segment files physically deleted by
+	// checkpoint-anchored truncation (every record strictly below the
+	// anchor head).
+	SegmentsReclaimed Counter
+	// SegmentsLive tracks the number of segment files currently on disk
+	// across all logs. Maintained by durable-state deltas (create +1,
+	// reclaim -1), so crash-reopens do not double-count.
+	SegmentsLive Gauge
+	// LiveLogBytes tracks durable log-record bytes on disk across all
+	// logs (flushed block bytes added, reclaimed segment bytes
+	// subtracted).
+	LiveLogBytes Gauge
+	// PeakLiveBytes is the largest live span (durable minus head) any
+	// single log ever reached — the bounded-disk headline number: under
+	// steady checkpointing it stays flat however long the storm runs.
+	PeakLiveBytes MaxGauge
 }
 
 // Wal holds the process-wide log-layer counters.

@@ -26,6 +26,8 @@ package simdisk
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -204,6 +206,36 @@ func (d *Disk) OpenFile(name string) *File {
 	return f
 }
 
+// Remove deletes the named file from the disk and reports whether it
+// existed. Handles obtained earlier keep their data in memory but are
+// detached: a later OpenFile of the same name returns a fresh empty
+// file. Removal is durable immediately (the directory update rides on
+// the caller's next charged write).
+func (d *Disk) Remove(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; !ok {
+		return false
+	}
+	delete(d.files, name)
+	return true
+}
+
+// List returns the names of all files starting with prefix, sorted.
+// A mount-time enumeration, not a modelled I/O.
+func (d *Disk) List(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var names []string
+	for name := range d.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ChargeWrite blocks for the (scaled) time to flush n sectors and records
 // the activity. wastedBytes counts padding bytes included in the n sectors
 // that carry no payload (the paper's "half a sector wasted on every flush").
@@ -271,22 +303,45 @@ func (f *File) Size() int64 {
 }
 
 // evalWriteFault checks the disk's write failpoints for this file,
-// trying the file-targeted name ("<mode>:<file>") before the generic
-// one. It returns the first armed mode that fires.
+// trying the file-targeted name ("<mode>:<file>"), then the family
+// name ("<mode>:<base>" for a segment file "<base>.NNNNNN"), then the
+// generic one. It returns the first armed mode that fires.
 func (f *File) evalWriteFault() (mode string, hit failpoint.Hit, ok bool) {
 	fp := f.disk.Failpoints()
 	if fp == nil {
 		return "", failpoint.Hit{}, false
 	}
+	family := familyName(f.name)
 	for _, m := range [...]string{FPWriteError, FPWriteTorn, FPWriteCorrupt} {
 		if h, fired := fp.Eval(m + ":" + f.name); fired {
 			return m, h, true
+		}
+		if family != "" {
+			if h, fired := fp.Eval(m + ":" + family); fired {
+				return m, h, true
+			}
 		}
 		if h, fired := fp.Eval(m); fired {
 			return m, h, true
 		}
 	}
 	return "", failpoint.Hit{}, false
+}
+
+// familyName strips a trailing ".NNN…" all-digit segment suffix, so a
+// fault targeting "msp1.log" also hits "msp1.log.000003". Returns ""
+// when the name has no such suffix.
+func familyName(name string) string {
+	i := strings.LastIndexByte(name, '.')
+	if i <= 0 || i == len(name)-1 {
+		return ""
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return ""
+		}
+	}
+	return name[:i]
 }
 
 // WriteAt writes p at offset off, growing the file (zero-filled) as

@@ -61,7 +61,7 @@ func TestTruncateHeadScanStartsAtHead(t *testing.T) {
 
 func TestTruncateHeadFreesMemory(t *testing.T) {
 	disk := simdisk.NewDisk(simdisk.DefaultModel(0))
-	l, err := Open(disk, "log", Config{})
+	l, err := Open(disk, "log", Config{SegmentSize: 16 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,13 +70,23 @@ func TestTruncateHeadFreesMemory(t *testing.T) {
 		last, _ = l.Append(1, make([]byte, 4096))
 		_ = l.Flush(last)
 	}
-	l.TruncateHead(last)
-	f := disk.OpenFile("log")
-	if f.DiscardedPrefix() == 0 {
-		t.Fatal("truncation freed no memory")
+	before := len(l.Segments())
+	if before < 2 {
+		t.Fatalf("only %d segments; rotation never happened", before)
 	}
-	if f.DiscardedPrefix() > int64(last) {
-		t.Fatalf("discarded %d bytes beyond head %d", f.DiscardedPrefix(), last)
+	if err := l.TruncateHead(last); err != nil {
+		t.Fatal(err)
+	}
+	segs := l.Segments()
+	if len(segs) >= before {
+		t.Fatalf("truncation deleted no segments (%d before, %d after)", before, len(segs))
+	}
+	if segs[0].Base > last {
+		t.Fatalf("first live segment starts at %d, beyond head %d", segs[0].Base, last)
+	}
+	// The deleted segment files are really gone from the disk.
+	if got := len(disk.List("log.0")); got != len(segs) {
+		t.Fatalf("%d segment files on disk, want %d", got, len(segs))
 	}
 }
 
