@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mspr-bench [-scale 0.02] [-requests 2000] [e1|e2|e3|e4|e5|e6|e7|hotpath|all ...]
+//	mspr-bench [-scale 0.02] [-requests 2000] [e1|e2|e3|e4|e5|e6|e7|hotpath|recovery|all ...]
 //
 // Results are reported in model milliseconds: wall-clock time divided by
 // the time scale, directly comparable to the paper's numbers in shape
@@ -13,7 +13,9 @@
 // The hotpath experiment additionally emits machine-readable results:
 // with -hotpath-out FILE, the run (labelled via -label) is appended to
 // FILE's run list, building the repository's performance trajectory
-// (BENCH_hotpath.json).
+// (BENCH_hotpath.json). The recovery experiment does the same via
+// -recovery-out (BENCH_recovery.json): time-to-first-reply and
+// full-drain time after a crash versus session count.
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mspr/internal/bench"
@@ -59,12 +63,60 @@ func appendHotpathRun(path string, run hotpathRun) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// recoveryRun is one labelled entry of the BENCH_recovery.json trajectory.
+type recoveryRun struct {
+	Label     string                `json:"label"`
+	Date      string                `json:"date"`
+	TimeScale float64               `json:"time_scale"`
+	Points    []bench.RecoveryPoint `json:"points"`
+}
+
+type recoveryFile struct {
+	Comment string        `json:"comment"`
+	Runs    []recoveryRun `json:"runs"`
+}
+
+func appendRecoveryRun(path string, run recoveryRun) error {
+	var f recoveryFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s is not a recovery trajectory: %w", path, err)
+		}
+	}
+	if f.Comment == "" {
+		f.Comment = "mspr instant-recovery latency trajectory; regenerate with: go run ./cmd/mspr-bench -recovery-out BENCH_recovery.json -label <label> recovery"
+	}
+	f.Runs = append(f.Runs, run)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad session count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.02, "model-to-wall-clock time scale (1.0 = paper wall-clock)")
 	requests := flag.Int("requests", 2000, "end-client requests per configuration")
 	crashEvery := flag.Int("crash-every", 500, "crash injection interval for E5/E6 (requests per crash)")
 	hotpathOut := flag.String("hotpath-out", "", "append the hotpath run to this JSON trajectory file")
-	label := flag.String("label", "dev", "label for the hotpath run in the JSON trajectory")
+	recoveryOut := flag.String("recovery-out", "", "append the recovery run to this JSON trajectory file")
+	recoveryCounts := flag.String("recovery-counts", "", "comma-separated session counts for the recovery experiment (default 100,1000,10000)")
+	label := flag.String("label", "dev", "label for a run in a JSON trajectory file")
 	flag.Parse()
 
 	experiments := flag.Args()
@@ -150,6 +202,28 @@ func main() {
 				Points:    points,
 			}
 			if err := appendHotpathRun(*hotpathOut, hr); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Println()
+	}
+	if run["recovery"] {
+		counts, err := parseCounts(*recoveryCounts)
+		if err != nil {
+			fail(err)
+		}
+		points, err := bench.RunRecoveryLatency(o, counts)
+		if err != nil {
+			fail(err)
+		}
+		if *recoveryOut != "" {
+			rr := recoveryRun{
+				Label:     *label,
+				Date:      time.Now().UTC().Format("2006-01-02"), //mspr:wallclock run timestamp for the committed trajectory file
+				TimeScale: *scale,
+				Points:    points,
+			}
+			if err := appendRecoveryRun(*recoveryOut, rr); err != nil {
 				fail(err)
 			}
 		}

@@ -79,6 +79,7 @@ type storm struct {
 	faults   []chaos.Fault
 	rec      *oracle.Recorder
 	restarts *chaos.RestartTimes
+	ttfr     *chaos.DurationSeries
 	close    func()
 }
 
@@ -205,12 +206,22 @@ func buildStorm(c stormConfig) (*storm, error) {
 
 	var procMu sync.Mutex
 	restarts := &chaos.RestartTimes{}
+	ttfr := &chaos.DurationSeries{}
+	// An incarnation's time-to-first-reply is harvested lazily — when it
+	// is next crashed, or at teardown — so the restart path never waits
+	// for the measurement's first reply to happen.
+	harvestTTFR := func(s *core.Server) {
+		if d := s.TimeToFirstReply(); d > 0 {
+			ttfr.Observe(d)
+		}
+	}
 	// On a failed Start (an armed point crashed recovery itself) the old
 	// pointer is kept: its Crash is idempotent, so the fault's retry can
 	// crash-restart again. Successful restarts record their crash-to-ready
 	// wall-clock duration, so the storm report bounds recovery time.
 	restartFront := func() error {
 		t0 := time.Now()
+		harvestTTFR(front)
 		front.Crash()
 		s, err := core.Start(frontCfg)
 		if err == nil {
@@ -221,6 +232,7 @@ func buildStorm(c stormConfig) (*storm, error) {
 	}
 	restartBack := func() error {
 		t0 := time.Now()
+		harvestTTFR(back)
 		back.Crash()
 		s, err := core.Start(backCfg)
 		if err == nil {
@@ -255,6 +267,15 @@ func buildStorm(c stormConfig) (*storm, error) {
 				wal.FPAnchorCrash, restartBack),
 			chaos.CrashPointFault("back-crash-mid-replay", &procMu, fpBack,
 				core.FPReplayMidSession, restartBack),
+			// The instant-recovery window: crash between the analysis pass
+			// and the first reply, during a lazy (first-touch) session
+			// replay, and inside the background sweep.
+			chaos.CrashPointFault("front-crash-before-serve", &procMu, fpFront,
+				core.FPRecoveryBeforeServe, restartFront),
+			chaos.CrashPointFault("front-crash-lazy-replay", &procMu, fpFront,
+				core.FPLazyReplay, restartFront),
+			chaos.CrashPointFault("back-crash-mid-sweep", &procMu, fpBack,
+				core.FPSweepMid, restartBack),
 			// The ledger fault wedges a commit mid-flight (journal record
 			// durable, acknowledgement lost) and then restarts the store;
 			// testable transactions must absorb the client's resend.
@@ -373,9 +394,11 @@ func buildStorm(c stormConfig) (*storm, error) {
 			return nil
 		},
 	}
-	st := &storm{w: w, faults: faults, rec: rec, restarts: restarts}
+	st := &storm{w: w, faults: faults, rec: rec, restarts: restarts, ttfr: ttfr}
 	st.close = func() {
 		procMu.Lock()
+		harvestTTFR(front)
+		harvestTTFR(back)
 		front.Crash()
 		back.Crash()
 		rm.Crash()
@@ -511,6 +534,13 @@ func main() {
 	if n, avg, max := st.restarts.Summary(); n > 0 {
 		fmt.Printf("recovery: restarts=%d avg=%v max=%v\n", n, avg.Round(time.Millisecond), max.Round(time.Millisecond))
 	}
+	if st.ttfr.Count() > 0 {
+		fmt.Printf("recovery: timeToFirstReply p50=%v max=%v (%d incarnations)\n",
+			st.ttfr.Percentile(50).Round(time.Millisecond), st.ttfr.Max().Round(time.Millisecond), st.ttfr.Count())
+	}
+	r := &metrics.Recovery
+	fmt.Printf("recovery: lazyReplays=%d sweepReplays=%d pendingSessions=%d pendingShared=%d\n",
+		r.LazyReplays.Load(), r.SweepReplays.Load(), r.PendingSessions.Load(), r.PendingShared.Load())
 	if st.rec != nil {
 		fmt.Printf("oracle: %d events recorded\n", st.rec.Len())
 	}

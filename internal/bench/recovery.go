@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mspr/internal/core"
+	"mspr/internal/metrics"
+	"mspr/internal/rpc"
+	"mspr/internal/simdisk"
+	"mspr/internal/simnet"
+)
+
+// The instant-recovery experiment quantifies what the analysis/replay
+// split buys: after a crash with N live sessions of unreplayed work, the
+// server accepts traffic as soon as the analysis scan finishes, so
+// time-to-first-reply costs one log scan plus one on-demand session
+// replay and stays roughly flat in N, while the time to drain every
+// session back to live is the background sweep's job and grows with N.
+
+// RecoveryPoint is one measured point: latency after a crash at a given
+// session count, in model milliseconds.
+type RecoveryPoint struct {
+	Sessions    int     `json:"sessions"`
+	TTFRMS      float64 `json:"ttfr_ms"`       // restart → first served reply
+	FullDrainMS float64 `json:"full_drain_ms"` // restart → every session live
+}
+
+// RunRecoveryLatency measures TTFR and full-drain time versus session
+// count. Every session has requestsPer logged (never-checkpointed)
+// requests carrying simulated method CPU, so replay cost is dominated by
+// re-execution and the sweep's growth with N is visible.
+func RunRecoveryLatency(o Options, counts []int) ([]RecoveryPoint, error) {
+	o = o.withDefaults()
+	if len(counts) == 0 {
+		counts = []int{100, 1000, 10000}
+	}
+	const (
+		requestsPer = 2
+		workPer     = 5 * time.Millisecond // model CPU per replayed request
+	)
+	o.printf("Instant recovery — time-to-first-reply vs session count (%d logged requests/session, model ms)\n", requestsPer)
+	o.printf("%-10s %12s %14s\n", "sessions", "TTFR", "full drain")
+	var out []RecoveryPoint
+	for _, n := range counts {
+		p, err := runRecoveryOnce(o, n, requestsPer, workPer)
+		if err != nil {
+			return nil, fmt.Errorf("recovery sessions=%d: %w", n, err)
+		}
+		out = append(out, p)
+		o.printf("%-10d %12.2f %14.1f\n", p.Sessions, p.TTFRMS, p.FullDrainMS)
+	}
+	return out, nil
+}
+
+func runRecoveryOnce(o Options, sessions, requestsPer int, workPer time.Duration) (RecoveryPoint, error) {
+	net := simnet.New(simnet.Config{TimeScale: o.TimeScale})
+	disk := simdisk.NewDisk(simdisk.DefaultModel(o.TimeScale))
+	dom := core.NewDomain("rec", 0, o.TimeScale)
+	def := core.Definition{
+		Methods: map[string]core.Handler{
+			"step": func(ctx *core.Ctx, arg []byte) ([]byte, error) {
+				ctx.Work(workPer)
+				var n uint64
+				if v := ctx.GetVar("n"); len(v) == 8 {
+					n = binary.BigEndian.Uint64(v)
+				}
+				n++
+				b := make([]byte, 8)
+				binary.BigEndian.PutUint64(b, n)
+				ctx.SetVar("n", b)
+				return b, nil
+			},
+		},
+	}
+	cfg := core.NewConfig("rec-msp", dom, disk, net, def)
+	cfg.TimeScale = o.TimeScale
+	cfg.SessionCkptThreshold = 1 << 40 // never checkpoint: replay everything
+	srv, err := core.Start(cfg)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	client := core.NewClient("rec-client", net, rpc.DefaultCallOptions(o.TimeScale))
+	defer client.Close()
+
+	probes := make([]*core.ClientSession, sessions)
+	errc := make(chan error, sessions)
+	for i := range probes {
+		probes[i] = client.Session("rec-msp")
+		go func(cs *core.ClientSession) {
+			for j := 0; j < requestsPer; j++ {
+				if _, err := cs.Call("step", nil); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(probes[i])
+	}
+	for range probes {
+		if err := <-errc; err != nil {
+			return RecoveryPoint{}, err
+		}
+	}
+
+	// Clean shutdown keeps all records durable; recovery replays them all.
+	if err := srv.Shutdown(); err != nil {
+		return RecoveryPoint{}, err
+	}
+	start := time.Now() //mspr:wallclock benchmark measures real recovery latency, rescaled to model time for the report
+	srv, err = core.Start(cfg)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	// One request against a pre-crash session: it blocks only on that
+	// session's lazy replay; the server reports TTFR from restart.
+	if _, err := probes[len(probes)/2].Call("step", nil); err != nil {
+		srv.Crash()
+		return RecoveryPoint{}, err
+	}
+	ttfr := srv.TimeToFirstReply()
+	for srv.RecoveringSessions() > 0 {
+		time.Sleep(100 * time.Microsecond) //mspr:wallclock polling the background sweep, which runs on OS scheduling
+	}
+	drain := time.Since(start) //mspr:wallclock benchmark measures real recovery latency, rescaled to model time for the report
+	srv.Crash()
+	return RecoveryPoint{
+		Sessions:    sessions,
+		TTFRMS:      metrics.ModelMS(ttfr, o.TimeScale),
+		FullDrainMS: metrics.ModelMS(drain, o.TimeScale),
+	}, nil
+}

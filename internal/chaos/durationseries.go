@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DurationSeries keeps every duration a storm harness observes so the
+// end-of-storm report can print percentiles, not just an aggregate. It is
+// the sample-keeping sibling of RestartTimes, used where the distribution
+// matters — per-restart time-to-first-reply, whose p50 is the
+// instant-recovery headline (the max is dominated by the one restart that
+// had to lazily replay the hottest session). The harness measures the
+// durations itself; this package never reads the clock.
+type DurationSeries struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe records one duration.
+func (d *DurationSeries) Observe(v time.Duration) {
+	d.mu.Lock()
+	d.samples = append(d.samples, v)
+	d.mu.Unlock()
+}
+
+// Count returns how many durations were observed.
+func (d *DurationSeries) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.samples)
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) of the observed
+// durations by nearest-rank, or 0 if none were recorded.
+func (d *DurationSeries) Percentile(p int) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), d.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// Max returns the largest observed duration, or 0 if none were recorded.
+func (d *DurationSeries) Max() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var m time.Duration
+	for _, v := range d.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

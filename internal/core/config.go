@@ -92,11 +92,18 @@ type Config struct {
 	WalSegmentSize int64
 	// TimeScale converts model latencies to wall-clock sleeps.
 	TimeScale float64
-	// SerialRecovery disables parallel session recovery, replaying the
-	// sessions one after another. It exists only for the ablation
-	// benchmark of the paper's parallel-recovery claim (§1.3, §4.3); keep
-	// it false in real use.
+	// SerialRecovery disables parallel session recovery: the background
+	// sweep replays the sessions it claims one after another. It exists
+	// only for the ablation benchmark of the paper's parallel-recovery
+	// claim (§1.3, §4.3); keep it false in real use.
 	SerialRecovery bool
+	// NoRecoverySweep disables the background sweep that drains
+	// unrecovered units after crash recovery's analysis pass: every
+	// session and shared variable is then restored only on first touch.
+	// For deterministic lazy-restore tests and time-to-first-reply
+	// benches; keep it false in real use (the sweep is what guarantees
+	// the process eventually returns to a fully materialized state).
+	NoRecoverySweep bool
 	// FlushDeadline bounds one distributed-flush peer call end to end
 	// (model time): transmission, retransmissions with backoff, and the
 	// wait for the peer to finish recovering. A peer unreachable past

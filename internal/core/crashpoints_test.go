@@ -32,7 +32,9 @@ func TestNestedCrashDuringRecoveryAtEveryPoint(t *testing.T) {
 		{"after-broadcast", FPRecoveryAfterBroadcast, false},
 		{"ckpt-before-anchor", FPCkptBeforeAnchor, false},
 		{"ckpt-before-truncate", FPCkptBeforeTruncate, false},
+		{"before-serve", FPRecoveryBeforeServe, false},
 		{"replay-mid-session", FPReplayMidSession, true},
+		{"mid-sweep", FPSweepMid, true},
 	}
 	for _, tc := range points {
 		tc := tc

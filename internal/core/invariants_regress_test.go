@@ -3,32 +3,16 @@ package core
 import (
 	"testing"
 
-	"mspr/internal/dv"
 	"mspr/internal/failpoint"
 	"mspr/internal/logrec"
 	"mspr/internal/simdisk"
 )
 
-// Regression for a dvalias violation found by mspr-vet: applyScanWrite
-// stored the decoded record's vector without Clone(), so the shared
-// variable's DV aliased the scan's record — a later Merge into either
-// mutated both, masking or inventing orphan dependencies.
-func TestApplyScanWriteClonesVector(t *testing.T) {
-	e1 := dv.Entry{Process: "p1", Epoch: 1}
-	e2 := dv.Entry{Process: "p2", Epoch: 3}
-	sv := &SharedVar{}
-	rec := logrec.SharedWrite{Var: "total", Value: u64(7), DV: dv.Vector{e1: 7}}
-	sv.applyScanWrite(rec, 10)
-
-	rec.DV[e1] = 1
-	rec.DV[e2] = 99
-	if got := sv.vec[e1]; got != 7 {
-		t.Fatalf("shared vector aliased the scan record: entry %v = %d, want 7", e1, got)
-	}
-	if _, ok := sv.vec[e2]; ok {
-		t.Fatalf("shared vector aliased the scan record: gained entry %v", e2)
-	}
-}
+// (A dvalias regression test for applyScanWrite used to live here: the
+// analysis scan stored a decoded record's vector without Clone(). The
+// instant-recovery split removed the hazard by construction — the scan no
+// longer decodes DVs at all, and materializeLocked clones the vector it
+// decodes from a record nothing else retains.)
 
 // Regression for a walerr violation found by mspr-vet: Shutdown
 // discarded the final flush's error, reporting a clean stop even when

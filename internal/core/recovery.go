@@ -15,13 +15,17 @@ import (
 //
 //  1. re-initialize from the most recent MSP checkpoint (via the anchor);
 //  2. run a single-threaded analysis scan of the physical log that
-//     reconstructs every session's position stream, rolls shared
-//     variables forward to their most recent logged values, and rebuilds
-//     the knowledge of recovered state numbers;
+//     reconstructs every session's position stream, notes each shared
+//     variable's backward-chain head, and rebuilds the knowledge of
+//     recovered state numbers — WITHOUT materializing any session or
+//     variable state (instant recovery: the scan is O(log records), not
+//     O(state size));
 //  3. broadcast a recovery message with the recovered state number;
 //  4. take a fresh MSP checkpoint;
-//  5. return the sessions to be recovered in parallel while the MSP
-//     starts accepting new sessions.
+//  5. mark every surviving session and written shared variable
+//     unrecovered and return the sessions: the server serves immediately,
+//     a request touching an unrecovered unit blocks only on that unit's
+//     replay, and the background sweep (recoverySweep) drains the rest.
 func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 	crashedEpoch := anchor.Epoch
 	// Restore the log head recorded by the last checkpoint; the records
@@ -144,9 +148,22 @@ func (s *Server) recoverFromCrash(anchor wal.Anchor) ([]*Session, error) {
 		return nil, err
 	}
 
+	// Publish the unrecovered set: from here on a request that touches one
+	// of these units claims and replays it on demand; the sweep drains the
+	// remainder. The gauges are retired unit by unit (or wholesale by
+	// releasePendingUnits if this incarnation dies first).
 	sessions := s.sessions.snapshot()
 	for _, sess := range sessions {
-		sess.beginRecoveryUnconditional()
+		sess.markUnrecovered()
+	}
+	for _, sv := range s.shared {
+		sv.markPending()
+	}
+	// Crash window between analysis and the first reply: state is durable
+	// (recovery info flushed, post-recovery checkpoint written) but no
+	// request has been served by this incarnation yet.
+	if err := s.evalCrashPoint(FPRecoveryBeforeServe); err != nil {
+		return nil, err
 	}
 	metrics.Recovery.RecoveriesCompleted.Inc()
 	if tap := s.cfg.Tap; tap != nil {
@@ -178,7 +195,7 @@ func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
 		if err := s.evalCrashPoint(FPRecoveryMidScan); err != nil {
 			return err
 		}
-		n := len(payload) + 9
+		n := len(payload) + wal.FrameOverhead
 		switch logrec.Type(typ) {
 		case logrec.TSessionStart:
 			rec, err := logrec.DecodeSessionStart(payload)
@@ -187,47 +204,37 @@ func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
 			}
 			shell(rec.Session).scanStart(rec, lsn, n)
 		case logrec.TSessionCkpt:
-			rec, err := logrec.DecodeSessionCheckpoint(payload)
+			// Analysis only: record the checkpoint LSN as the session's
+			// replay starting point without decoding the checkpointed
+			// state. Materialization happens if and when the session's
+			// replay is claimed.
+			id, err := logrec.PeekSession(payload)
 			if err != nil {
 				return err
 			}
-			sess := shell(rec.Session)
-			sess.restoreFromCheckpoint(rec, lsn)
-			sess.scanCheckpointReset()
-		case logrec.TReqReceive:
-			rec, err := logrec.DecodeReqReceive(payload)
+			shell(id).scanCheckpointNote(lsn)
+		case logrec.TReqReceive, logrec.TReplyReceive, logrec.TSharedRead:
+			id, err := logrec.PeekSession(payload)
 			if err != nil {
 				return err
 			}
-			shell(rec.Session).scanNote(lsn, n)
-		case logrec.TReplyReceive:
-			rec, err := logrec.DecodeReplyReceive(payload)
-			if err != nil {
-				return err
-			}
-			shell(rec.Session).scanNote(lsn, n)
-		case logrec.TSharedRead:
-			rec, err := logrec.DecodeSharedRead(payload)
-			if err != nil {
-				return err
-			}
-			shell(rec.Session).scanNote(lsn, n)
+			shell(id).scanNote(lsn, n)
 		case logrec.TSharedWrite:
-			rec, err := logrec.DecodeSharedWrite(payload)
+			id, name, err := logrec.PeekSessionVar(payload)
 			if err != nil {
 				return err
 			}
-			shell(rec.Session).scanNote(lsn, n)
-			if sv := s.shared[rec.Var]; sv != nil {
-				sv.applyScanWrite(rec, lsn)
+			shell(id).scanNote(lsn, n)
+			if sv := s.shared[name]; sv != nil {
+				sv.scanNoteWrite(lsn)
 			}
 		case logrec.TSVCheckpoint:
-			rec, err := logrec.DecodeSVCheckpoint(payload)
+			name, err := logrec.PeekVar(payload)
 			if err != nil {
 				return err
 			}
-			if sv := s.shared[rec.Var]; sv != nil {
-				sv.applyScanCheckpoint(rec, lsn)
+			if sv := s.shared[name]; sv != nil {
+				sv.scanNoteCheckpoint(lsn)
 			}
 		case logrec.TEOS:
 			rec, err := logrec.DecodeEOS(payload)

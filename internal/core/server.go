@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,18 @@ const (
 	// FPReplayMidSession crashes session replay (§4.1) between two
 	// replayed records.
 	FPReplayMidSession = "core.replay.mid-session"
+	// FPRecoveryBeforeServe crashes in the instant-recovery window
+	// between the end of the analysis pass (unrecovered set published,
+	// post-recovery checkpoint durable) and the first reply the new
+	// incarnation sends.
+	FPRecoveryBeforeServe = "core.recovery.before-serve"
+	// FPLazyReplay crashes a lazy (on-demand) session replay: a request
+	// touched an unrecovered session, the session was claimed, and the
+	// crash hits before its replay starts.
+	FPLazyReplay = "core.recovery.lazy-replay"
+	// FPSweepMid crashes the background recovery sweep between two
+	// recovery units (use failpoint.SkipFirst to pick which).
+	FPSweepMid = "core.recovery.mid-sweep"
 	// FPDedupSkip does not crash anything: while armed, a request
 	// classified as a duplicate is executed as if it were new —
 	// deliberately broken duplicate detection. It exists so the
@@ -129,6 +142,14 @@ type Server struct {
 	bytesSinceCkpt atomic.Int64
 	ckptRunning    atomic.Bool
 	lastMSPCkpt    wal.LSN
+
+	// Instant-recovery time-to-first-reply: recoverT0 is when this
+	// incarnation's crash recovery began; ttfrPending arms the one-shot
+	// measurement in reply(); ttfr holds the measured duration in
+	// nanoseconds (0 = no crash recovery, or no reply sent yet).
+	recoverT0   time.Time
+	ttfrPending atomic.Bool
+	ttfr        atomic.Int64
 
 	stats ServerStats
 }
@@ -232,13 +253,19 @@ func Start(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("core: %s: %w", cfg.ID, err)
 		}
 		if ok {
+			s.recoverT0 = time.Now() //mspr:wallclock time-to-first-reply is a measured latency, not simulated model time
 			recoveredSessions, err = s.recoverFromCrash(anchor)
 			if err != nil {
 				// Leave the carcass exactly as a crash would: endpoint
 				// down, log closed. A later Start recovers from disk.
+				// Units already published on the pending gauges by the
+				// interrupted recovery belong to this dead incarnation;
+				// retire them so the gauges track live work only.
 				s.halt()
+				s.releasePendingUnits()
 				return nil, fmt.Errorf("core: %s: crash recovery: %w", cfg.ID, err)
 			}
+			s.ttfrPending.Store(true)
 		} else {
 			// Fresh start: persist an initial MSP checkpoint and anchor so
 			// the very first crash already finds a recovery starting point.
@@ -253,34 +280,120 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.Logging && cfg.AntiEntropyEvery > 0 {
 		s.goBackground(s.antiEntropyLoop)
 	}
-	// Sessions restored from the log recover in parallel (§4.3) while the
-	// MSP serves new sessions; their clients get Busy until replay ends.
-	// (SerialRecovery replays them one by one — ablation only.)
-	if cfg.SerialRecovery {
-		s.goBackground(func() {
-			for _, sess := range recoveredSessions {
-				s.runSessionRecovery(sess)
-			}
-		})
-	} else {
-		for _, sess := range recoveredSessions {
-			sess := sess
-			s.goBackground(func() { s.runSessionRecovery(sess) })
-		}
+	// Instant recovery (§4.3 + REDO-only instant restart): the server is
+	// already serving — a request touching an unrecovered session claims
+	// and replays just that session — while the background sweep drains
+	// the remaining units at low priority. NoRecoverySweep leaves the
+	// drain entirely to first touch (tests, TTFR benches).
+	if len(recoveredSessions) > 0 && !cfg.NoRecoverySweep {
+		s.goBackground(func() { s.recoverySweep(recoveredSessions) })
 	}
 	return s, nil
 }
 
-// RecoveringSessions reports how many sessions are still replaying.
-// Experiment harnesses poll it to time recovery.
+// sweepConcurrency bounds how many sessions the background sweep replays
+// at once. A bounded pool (instead of one goroutine per session) keeps a
+// 10k-session restart from stampeding the scheduler and the WAL against
+// live traffic — serving during replay is the whole point — while still
+// draining a large directory in a few passes.
+const sweepConcurrency = 4
+
+// recoverySweep drains the unrecovered units left by the analysis pass:
+// sessions are claimed and replayed by a small worker pool (a single
+// worker under SerialRecovery), then shared variables are materialized in
+// place. Units claimed first by a request (lazy replay) are skipped. The
+// workers yield between units so live traffic keeps priority.
+func (s *Server) recoverySweep(sessions []*Session) {
+	workers := sweepConcurrency
+	if s.cfg.SerialRecovery {
+		workers = 1
+	}
+	if workers > len(sessions) {
+		workers = len(sessions)
+	}
+	var next atomic.Int64
+	var stop atomic.Bool // a crash (real or injected) ends the sweep
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		if !s.goBackground(func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(sessions) {
+					return
+				}
+				if s.getState() == stateCrashed {
+					stop.Store(true)
+					return
+				}
+				if err := s.evalCrashPoint(FPSweepMid); err != nil {
+					stop.Store(true)
+					return
+				}
+				sess := sessions[i]
+				if !sess.claimForReplay() {
+					continue // lazily replayed (or ended) already
+				}
+				metrics.Recovery.SweepReplays.Inc()
+				s.runSessionRecovery(sess)
+				runtime.Gosched() // low priority: let workers claim the next units
+			}
+		}) {
+			wg.Done() // server already crashed; no worker was spawned
+			return
+		}
+	}
+	wg.Wait()
+	if stop.Load() {
+		return
+	}
+	for _, sv := range s.shared {
+		if s.getState() == stateCrashed {
+			return
+		}
+		if err := s.evalCrashPoint(FPSweepMid); err != nil {
+			return
+		}
+		if restored, err := sv.sweepRestore(); err == nil && restored {
+			metrics.Recovery.SweepReplays.Inc()
+		}
+		runtime.Gosched()
+	}
+}
+
+// releasePendingUnits retires every unit still on the pending-recovery
+// gauges. Called after a teardown (Crash, or a failed recovery's halt):
+// the units belong to the dead incarnation — the next Start republishes
+// whatever its own analysis pass finds.
+func (s *Server) releasePendingUnits() {
+	s.sessions.forEach(func(sess *Session) { sess.clearPending() })
+	for _, sv := range s.shared {
+		sv.clearPending()
+	}
+}
+
+// RecoveringSessions reports how many sessions still owe a replay —
+// actively replaying or not yet claimed since the crash. Experiment
+// harnesses poll it to time the full recovery drain.
 func (s *Server) RecoveringSessions() int {
 	n := 0
 	s.sessions.forEach(func(sess *Session) {
-		if sess.recovering() {
+		if sess.pendingReplay() {
 			n++
 		}
 	})
 	return n
+}
+
+// TimeToFirstReply reports how long this incarnation took from the start
+// of crash recovery to its first state-bearing reply (0 until the first
+// reply is sent, and always 0 for an incarnation that did not crash-
+// recover). This is the instant-recovery headline latency: it covers the
+// analysis pass plus at most one session's replay, independent of total
+// state size.
+func (s *Server) TimeToFirstReply() time.Duration {
+	return time.Duration(s.ttfr.Load())
 }
 
 // goBackground runs f on a tracked goroutine unless the server has
@@ -376,6 +489,10 @@ func (s *Server) evalCrashPoint(name string) error {
 func (s *Server) Crash() {
 	s.halt()
 	s.wg.Wait()
+	// With all workers and the sweep stopped, retire this incarnation's
+	// units from the pending gauges: the next incarnation's analysis pass
+	// republishes its own set.
+	s.releasePendingUnits()
 }
 
 // Shutdown stops the MSP cleanly: the log is flushed first so a
@@ -467,6 +584,14 @@ func (s *Server) worker() {
 
 // reply sends a reply envelope to addr.
 func (s *Server) reply(addr simnet.Addr, rep rpc.Reply) {
+	if s.ttfrPending.Load() && rep.Status != rpc.StatusBusy && rep.Status != rpc.StatusRejected &&
+		s.ttfrPending.CompareAndSwap(true, false) {
+		// First state-bearing reply since crash recovery began: the
+		// instant-recovery time-to-first-reply measurement.
+		d := time.Since(s.recoverT0) //mspr:wallclock time-to-first-reply is a measured latency, not simulated model time
+		s.ttfr.Store(int64(d))
+		metrics.Recovery.TimeToFirstReply.Add(d.Microseconds())
+	}
 	s.ep.Send(addr, rep) //mspr:flushed-by sendReply (state-bearing replies flush there; Busy/Rejected envelopes carry no state)
 }
 
@@ -501,7 +626,28 @@ func (s *Server) handleRequest(req rpc.Request) {
 		// backs off and resends (§5.4).
 		s.replyBusy(req)
 		return
+	case sessionUnrecovered:
+		// Instant recovery's lazy restore: this request touched a session
+		// not yet replayed since the crash and won the claim. Replay it
+		// here — the request blocks only on THIS session's replay — then
+		// serve against the restored state.
+		if err := s.evalCrashPoint(FPLazyReplay); err != nil {
+			sess.finishRecovery() // claimed but never replayed; next incarnation redoes it
+			return
+		}
+		metrics.Recovery.LazyReplays.Inc()
+		s.runSessionRecovery(sess)
+		if s.getState() != stateRunning || !sess.tryAcquire() {
+			s.replyBusy(req)
+			return
+		}
 	}
+	s.serveAcquired(sess, req)
+}
+
+// serveAcquired serves one request against an exclusively held session
+// (Fig. 7's receive-execute-reply body plus checkpoint scheduling).
+func (s *Server) serveAcquired(sess *Session, req rpc.Request) {
 	defer sess.release()
 
 	classification := sess.seq.Classify(req.Seq)
@@ -670,6 +816,11 @@ const (
 	sessionOK sessionStatus = iota
 	sessionRejected
 	sessionBusyNow
+	// sessionUnrecovered: the session exists but has not been replayed
+	// since the crash, and this request won the claim to replay it
+	// (instant recovery's lazy-restore path). The session is held in
+	// phaseRecovering by the caller.
+	sessionUnrecovered
 )
 
 // lookupOrCreateSession finds the request's session, creating it for a
@@ -691,10 +842,13 @@ func (s *Server) lookupOrCreateSession(req rpc.Request) (*Session, sessionStatus
 	sess, ok := sh.m[req.Session]
 	if ok {
 		sh.mu.Unlock()
-		if !sess.tryAcquire() {
-			return nil, sessionBusyNow
+		if sess.tryAcquire() {
+			return sess, sessionOK
 		}
-		return sess, sessionOK
+		if sess.claimForReplay() {
+			return sess, sessionUnrecovered
+		}
+		return nil, sessionBusyNow
 	}
 	if !req.NewSession && !s.cfg.StatelessSessions {
 		sh.mu.Unlock()
@@ -751,7 +905,7 @@ func (s *Server) invoke(sess *Session, method string, seq uint64, arg []byte) (o
 // (wal.Append has copied it into the log buffer by then).
 func (s *Server) mustAppend(t logrec.Type, payload []byte) (wal.LSN, int) {
 	lsn, err := s.log.Append(byte(t), payload)
-	n := len(payload) + 9 // frame overhead
+	n := len(payload) + wal.FrameOverhead
 	logrec.Recycle(payload)
 	if err != nil {
 		panic(crashAbort{err})
@@ -766,7 +920,7 @@ func (s *Server) appendRec(t logrec.Type, payload []byte) (wal.LSN, int, error) 
 	if err != nil {
 		return 0, 0, err
 	}
-	n := len(payload) + 9
+	n := len(payload) + wal.FrameOverhead
 	s.bytesSinceCkpt.Add(int64(n))
 	return lsn, n, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"mspr/internal/dv"
 	"mspr/internal/logrec"
+	"mspr/internal/metrics"
 	"mspr/internal/rpc"
 	"mspr/internal/simnet"
 	"mspr/internal/wal"
@@ -21,6 +22,13 @@ const (
 	phaseBusy
 	phaseRecovering
 	phaseEnded
+	// phaseUnrecovered marks a session known from the crash-recovery
+	// analysis scan whose state has not been re-materialized yet (instant
+	// recovery). The unit state machine is
+	// unrecovered → replaying (phaseRecovering) → live (phaseIdle);
+	// orphans discovered later re-enter phaseRecovering from idle/busy
+	// exactly as before the instant-recovery split.
+	phaseUnrecovered
 )
 
 // Session is a recovery unit (§3.2): the private state an MSP keeps for
@@ -59,6 +67,12 @@ type Session struct {
 	// record, appended outside the shard lock, can only land at an LSN ≥
 	// startPin (see lookupOrCreateSession and writeMSPCheckpoint).
 	startPin wal.LSN
+
+	// gaugePending mirrors whether this session is counted in
+	// metrics.Recovery.PendingSessions, making gauge retirement
+	// idempotent across the replay path, the sweep, and incarnation
+	// teardown (releasePendingUnits).
+	gaugePending bool
 }
 
 // outSession is the client side of a session this session started with
@@ -129,26 +143,74 @@ func (se *Session) tryBeginRecovery() bool {
 	return true
 }
 
-// finishRecovery returns the session to idle after replay completes.
+// finishRecovery returns the session to idle after replay completes. A
+// session coming out of replay is live: it leaves the pending gauge if it
+// was counted there.
 func (se *Session) finishRecovery() {
 	se.mu.Lock()
 	if se.phase == phaseRecovering {
 		se.phase = phaseIdle
 	}
+	se.clearPendingLocked()
 	se.mu.Unlock()
 }
 
-// recovering reports whether the session is currently replaying.
-func (se *Session) recovering() bool {
+// markUnrecovered publishes the session as a pending recovery unit at the
+// end of the analysis pass: known to the directory, not yet materialized.
+func (se *Session) markUnrecovered() {
+	se.mu.Lock()
+	se.phase = phaseUnrecovered
+	if !se.gaugePending {
+		se.gaugePending = true
+		metrics.Recovery.PendingSessions.Add(1)
+	}
+	se.mu.Unlock()
+}
+
+// claimForReplay transitions unrecovered → replaying. Exactly one claimer
+// (the first request to touch the session, or the background sweep) wins;
+// the loser waits (requests) or skips (sweep).
+func (se *Session) claimForReplay() bool {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.phase == phaseRecovering
+	if se.phase != phaseUnrecovered {
+		return false
+	}
+	se.phase = phaseRecovering
+	return true
+}
+
+// pendingReplay reports whether the session still owes a replay — either
+// actively replaying or not yet claimed after a crash.
+func (se *Session) pendingReplay() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.phase == phaseRecovering || se.phase == phaseUnrecovered
+}
+
+// clearPendingLocked retires the session from the pending gauge; callers
+// hold se.mu. Idempotent: the gauge moves once per crash no matter how
+// many paths (replay, sweep, teardown) race to retire the unit.
+func (se *Session) clearPendingLocked() {
+	if se.gaugePending {
+		se.gaugePending = false
+		metrics.Recovery.PendingSessions.Add(-1)
+	}
+}
+
+// clearPending retires the session from the pending gauge without a phase
+// change (incarnation teardown with replay still owed).
+func (se *Session) clearPending() {
+	se.mu.Lock()
+	se.clearPendingLocked()
+	se.mu.Unlock()
 }
 
 func (se *Session) markEnded() {
 	se.mu.Lock()
 	se.phase = phaseEnded
 	se.pos.truncateAll()
+	se.clearPendingLocked()
 	se.mu.Unlock()
 }
 
@@ -428,19 +490,16 @@ func (se *Session) scanStart(rec logrec.SessionStart, lsn wal.LSN, n int) {
 	se.scanNote(lsn, n)
 }
 
-// scanCheckpointReset discards positions before a session checkpoint
-// found by the scan.
-func (se *Session) scanCheckpointReset() {
+// scanCheckpointNote applies a session checkpoint during the analysis
+// scan without materializing its state: positions before the checkpoint
+// are discarded and the recovery starting point recorded. The checkpoint
+// record is re-read and fully decoded only if and when the session's
+// replay is claimed (replaySessionOnce).
+func (se *Session) scanCheckpointNote(ckptLSN wal.LSN) {
 	se.pos.truncateAll()
 	se.bytesLogged = 0
-}
-
-// beginRecoveryUnconditional marks the session recovering during MSP
-// crash recovery (before the server serves requests).
-func (se *Session) beginRecoveryUnconditional() {
-	se.mu.Lock()
-	se.phase = phaseRecovering
-	se.mu.Unlock()
+	se.lastCkptLSN = ckptLSN
+	se.stateLSN = ckptLSN
 }
 
 // resetToInitial re-initializes a session that has never checkpointed to

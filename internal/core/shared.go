@@ -6,6 +6,7 @@ import (
 
 	"mspr/internal/dv"
 	"mspr/internal/logrec"
+	"mspr/internal/metrics"
 	"mspr/internal/wal"
 
 	"sync"
@@ -32,6 +33,16 @@ type SharedVar struct {
 	firstWrite   wal.LSN // first write record ever (scan-start bookkeeping)
 	lastCkptLSN  wal.LSN
 	mspCkptsPast int
+
+	// unrecovered marks a variable whose chain-head LSN is known from
+	// the crash-recovery analysis scan but whose value has not been
+	// re-read from the log yet. materializeLocked clears it on the first
+	// post-crash access (or when the background sweep gets there first).
+	unrecovered bool
+	// gaugePending mirrors membership in metrics.Recovery.PendingShared
+	// so gauge retirement is idempotent across access, sweep and
+	// teardown.
+	gaugePending bool
 }
 
 func newSharedVar(s *Server, def SharedDef) *SharedVar {
@@ -57,6 +68,11 @@ func (sv *SharedVar) read(sess *Session) ([]byte, error) {
 	if !s.cfg.Logging {
 		return append([]byte(nil), sv.value...), nil
 	}
+	if restored, err := sv.materializeLocked(); err != nil {
+		return nil, err
+	} else if restored {
+		metrics.Recovery.LazyReplays.Inc()
+	}
 	if _, orphan := s.know.OrphanIn(sv.vec); orphan {
 		if err := sv.rollbackLocked(); err != nil {
 			return nil, err
@@ -81,6 +97,15 @@ func (sv *SharedVar) write(sess *Session, value []byte) error {
 	if !s.cfg.Logging {
 		sv.value = append([]byte(nil), value...)
 		return nil
+	}
+	if sv.unrecovered {
+		// A write replaces the value wholesale, so there is nothing to
+		// materialize: the unit is live the moment the write lands. The
+		// backward chain stays intact — PrevWrite points at the
+		// analysis-tracked chain head.
+		sv.unrecovered = false
+		sv.clearPendingLocked()
+		metrics.Recovery.LazyReplays.Inc()
 	}
 	wvec := sess.vecWithSelf()
 	rec := logrec.SharedWrite{Session: sess.id, Var: sv.name, Value: value, DV: wvec, PrevWrite: sv.lastWrite}
@@ -192,9 +217,16 @@ func (sv *SharedVar) checkpointLocked() error {
 
 // forceCheckpoint checkpoints the variable outside the write path (stale
 // variables are forced so the analysis-scan start point advances, §3.4).
+// A still-unrecovered variable is materialized first — the checkpoint
+// record must carry the real value.
 func (sv *SharedVar) forceCheckpoint() {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+	if restored, err := sv.materializeLocked(); err != nil {
+		return // leave the unit pending; the next access or sweep retries
+	} else if restored {
+		metrics.Recovery.SweepReplays.Inc()
+	}
 	_ = sv.checkpointLocked()
 }
 
@@ -224,37 +256,114 @@ func (sv *SharedVar) written() bool {
 	return sv.lastWrite != 0 && sv.writesSince > 0
 }
 
-// applyScanWrite rolls the variable forward during the crash-recovery
-// analysis scan (§4.3): the most recent logged value wins; orphan checks
-// are deferred until a session reads the variable.
-func (sv *SharedVar) applyScanWrite(rec logrec.SharedWrite, lsn wal.LSN) {
+// scanNoteWrite tracks a TSharedWrite during the analysis scan without
+// decoding its value or DV: only the chain head advances. The value is
+// re-materialized from the record on first post-crash access.
+func (sv *SharedVar) scanNoteWrite(lsn wal.LSN) {
 	sv.mu.Lock()
-	sv.value = append([]byte(nil), rec.Value...)
-	sv.vec = rec.DV.Clone()
 	sv.stateLSN = lsn
 	sv.lastWrite = lsn
 	if sv.firstWrite == 0 {
 		sv.firstWrite = lsn
 	}
 	sv.writesSince++
+	sv.unrecovered = true
 	sv.mu.Unlock()
 }
 
-// applyScanCheckpoint applies a checkpoint record during the scan.
-func (sv *SharedVar) applyScanCheckpoint(rec logrec.SVCheckpoint, lsn wal.LSN) {
+// scanNoteCheckpoint tracks a TSVCheckpoint during the analysis scan,
+// value unread.
+func (sv *SharedVar) scanNoteCheckpoint(lsn wal.LSN) {
 	sv.mu.Lock()
-	sv.value = append([]byte(nil), rec.Value...)
-	sv.vec = nil
 	sv.stateLSN = lsn
 	sv.lastWrite = lsn
 	sv.lastCkptLSN = lsn
 	sv.writesSince = 0
+	sv.unrecovered = true
 	sv.mu.Unlock()
 }
 
+// markPending publishes the variable on the PendingShared gauge at the
+// end of the analysis pass if the scan left it unmaterialized.
+func (sv *SharedVar) markPending() {
+	sv.mu.Lock()
+	if sv.unrecovered && !sv.gaugePending {
+		sv.gaugePending = true
+		metrics.Recovery.PendingShared.Add(1)
+	}
+	sv.mu.Unlock()
+}
+
+// clearPendingLocked retires the variable from the PendingShared gauge;
+// callers hold sv.mu. Idempotent.
+func (sv *SharedVar) clearPendingLocked() {
+	if sv.gaugePending {
+		sv.gaugePending = false
+		metrics.Recovery.PendingShared.Add(-1)
+	}
+}
+
+// clearPending retires the variable from the gauge without materializing
+// (incarnation teardown).
+func (sv *SharedVar) clearPending() {
+	sv.mu.Lock()
+	sv.clearPendingLocked()
+	sv.mu.Unlock()
+}
+
+// materializeLocked restores the variable's value and DV from the log on
+// first post-crash access (instant recovery's lazy restore): the analysis
+// scan left only the chain-head LSN; read that one record. It reports
+// whether a restore actually ran so callers can attribute it to the lazy
+// or sweep counter. Orphan checking is NOT done here — the read path
+// re-checks OrphanIn on the materialized DV immediately after, exactly as
+// it does for values that survived in memory.
+func (sv *SharedVar) materializeLocked() (bool, error) {
+	if !sv.unrecovered {
+		return false, nil
+	}
+	s := sv.srv
+	// unrecovered is only ever set alongside a nonzero chain head.
+	typ, payload, err := s.log.ReadRecord(sv.lastWrite)
+	if err != nil {
+		return false, fmt.Errorf("core: materialize %s at %d: %w", sv.name, sv.lastWrite, err)
+	}
+	switch logrec.Type(typ) {
+	case logrec.TSharedWrite:
+		rec, err := logrec.DecodeSharedWrite(payload)
+		if err != nil {
+			return false, err
+		}
+		sv.value = append([]byte(nil), rec.Value...)
+		sv.vec = rec.DV.Clone()
+	case logrec.TSVCheckpoint:
+		rec, err := logrec.DecodeSVCheckpoint(payload)
+		if err != nil {
+			return false, err
+		}
+		sv.value = append([]byte(nil), rec.Value...)
+		sv.vec = nil
+	default:
+		return false, fmt.Errorf("core: materialize %s: unexpected %v at %d", sv.name, logrec.Type(typ), sv.lastWrite)
+	}
+	sv.unrecovered = false
+	sv.clearPendingLocked()
+	return true, nil
+}
+
+// sweepRestore materializes the variable on behalf of the background
+// sweep. It reports whether a restore ran.
+func (sv *SharedVar) sweepRestore() (bool, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.materializeLocked()
+}
+
 // snapshotValue returns the current value without logging (test hook).
+// It materializes first so post-crash inspection sees the logged value.
 func (sv *SharedVar) snapshotValue() []byte {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+	_, _ = sv.materializeLocked()
 	return append([]byte(nil), sv.value...)
 }

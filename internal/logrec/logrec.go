@@ -394,6 +394,37 @@ func DecodeEOS(p []byte) (EOS, error) {
 	return r, d.done("EOS")
 }
 
+// PeekSession returns the leading session ID of a payload without
+// decoding the rest of the record. Every session-owned record type
+// (TReqReceive, TReplyReceive, TSharedRead, TSharedWrite, TSessionCkpt,
+// TSessionStart, TSessionEnd, TEOS) encodes Session as its first field
+// precisely so the crash-recovery analysis scan can route the record to
+// its position stream without materializing values, vectors or variable
+// maps.
+func PeekSession(p []byte) (string, error) {
+	d := dec{b: p}
+	s := d.str()
+	return s, d.err
+}
+
+// PeekSessionVar returns the leading (Session, Var) pair of a
+// TSharedWrite or TSharedRead payload — the two routing keys the
+// analysis scan needs — without decoding the value or the DV.
+func PeekSessionVar(p []byte) (session, name string, err error) {
+	d := dec{b: p}
+	session = d.str()
+	name = d.str()
+	return session, name, d.err
+}
+
+// PeekVar returns the leading variable name of a TSVCheckpoint payload
+// without decoding the checkpointed value.
+func PeekVar(p []byte) (string, error) {
+	d := dec{b: p}
+	s := d.str()
+	return s, d.err
+}
+
 // RecoveryInfo records a peer's broadcast recovery message so that the
 // MSP's knowledge of recovered state numbers survives its own crash.
 type RecoveryInfo struct {

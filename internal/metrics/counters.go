@@ -76,6 +76,28 @@ type RecoveryCounters struct {
 	// TransientWriteRetries counts log flushes that retried after a
 	// transient disk write error and succeeded.
 	TransientWriteRetries Counter
+
+	// PendingSessions tracks sessions known from the crash-recovery
+	// analysis scan but not yet replayed (instant recovery: the server is
+	// serving while these drain). Marked up when recovery publishes the
+	// unrecovered set, down as lazy replay, the background sweep, or the
+	// owning incarnation's teardown retires each unit.
+	PendingSessions Gauge
+	// PendingShared tracks shared variables whose value has not been
+	// re-materialized from the log since the crash.
+	PendingShared Gauge
+	// LazyReplays counts recovery units restored on demand: a session
+	// replayed because a request touched it before the sweep reached it,
+	// or a shared variable materialized on its first post-crash access.
+	LazyReplays Counter
+	// SweepReplays counts recovery units drained by the background sweep
+	// (including shared variables materialized by the stale-checkpoint
+	// forcing path).
+	SweepReplays Counter
+	// TimeToFirstReply accumulates, in microseconds, each crash
+	// recovery's time from restart to the first non-Busy reply the new
+	// incarnation sent — the instant-recovery headline number.
+	TimeToFirstReply Counter
 }
 
 // Recovery holds the process-wide recovery counters.

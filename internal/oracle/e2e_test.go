@@ -176,6 +176,38 @@ func TestOracleCleanStormPasses(t *testing.T) {
 	}
 }
 
+// TestOracleInstantRecoveryStorm verifies exactly-once across the
+// concurrent-recovery window: crash-point faults kill the SUT between
+// analysis and first reply (FPRecoveryBeforeServe), during an on-demand
+// session replay (FPLazyReplay), and inside the background sweep
+// (FPSweepMid), while clients keep retrying into sessions that have not
+// been replayed yet. The oracle's full-history checkers must stay clean.
+// Runs under -race via the CI race step, putting the recovery-unit state
+// machine (unrecovered → replaying → live) under the race detector.
+func TestOracleInstantRecoveryStorm(t *testing.T) {
+	const seed = 29
+	s := newSUT(t, seed, false)
+	defer s.close()
+	var faultMu sync.Mutex
+	fp := s.cfg.Failpoints
+	faults := []chaos.Fault{
+		chaos.RestartFault("crash-sut", &faultMu, s.restart),
+		chaos.CrashPointFault("crash-before-serve", &faultMu, fp,
+			core.FPRecoveryBeforeServe, s.restart),
+		chaos.CrashPointFault("crash-lazy-replay", &faultMu, fp,
+			core.FPLazyReplay, s.restart),
+		chaos.CrashPointFault("crash-mid-sweep", &faultMu, fp,
+			core.FPSweepMid, s.restart),
+	}
+	rep := chaos.Run(s.workload(6, 25), faults, chaos.Options{Seed: seed, FaultEvery: 12})
+	if rep.Failed() {
+		t.Fatalf("%s\n%v", rep, rep.Errors)
+	}
+	if s.rec.Len() == 0 {
+		t.Fatal("oracle recorded nothing")
+	}
+}
+
 // TestOracleCatchesBrokenDedup is the end-to-end acceptance test: with
 // deduplication deliberately broken, the exactly-once checker must fail
 // the storm, and Minimize must shrink the failure to a replayable JSON
