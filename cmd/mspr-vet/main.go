@@ -2,11 +2,23 @@
 // over the module: the paper's recovery-correctness rules (flush-before-
 // send pessimism, dependency-vector ownership, log-record codec parity,
 // failpoint registry hygiene, simulated-time discipline, durability
-// error handling) as compile-time checks.
+// error handling) as compile-time checks, plus the CFG/dataflow
+// concurrency-protocol analyzers (lockorder: the declared mutex lattice
+// and no-blocking-under-noblock-locks; guardedby: //mspr:guarded-by
+// fields only touched with their mutex held on every path; phasestate:
+// session-phase stores follow the declared //mspr:phase-next machine).
+// flushed-by is path-sensitive: a flush must cover EVERY path to an
+// emit, and findings name an unflushed witness path.
 //
 // Usage:
 //
 //	mspr-vet [-json] [-run analyzer,...] [patterns...]
+//
+// -run validates its names: an unknown analyzer is a usage error (exit
+// 2) listing the known set. The pseudo-name "directives" selects no
+// analyzer and just runs the always-on //mspr: hygiene pass. Findings
+// carry file:line:col and sort by (file, line, col, analyzer, message),
+// so -json output is byte-stable across runs.
 //
 // Patterns default to ./... and are resolved against the working
 // directory. Exit status: 0 clean, 1 findings reported, 2 load or usage

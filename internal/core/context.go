@@ -354,7 +354,11 @@ func (c *Ctx) liveCall(out *outSession, method string, arg []byte) ([]byte, erro
 		resend = time.Millisecond
 	}
 	for {
-		s.ep.Send(target, req)
+		// The path-sensitive flushed-by pass sees two unflushed paths
+		// here, both deliberate: intra-domain requests piggyback the DV
+		// instead of flushing (locally optimistic logging, paper §3.2),
+		// and Logging=false disables recovery entirely.
+		s.ep.Send(target, req) //mspr:flushed-by flushSessionDV (inter-domain; intra-domain piggybacks the DV, Logging=false has no recovery)
 		timer := simtime.NewTimer(resend)
 	waiting:
 		for {

@@ -244,7 +244,7 @@ func (s *Server) analysisScan(from wal.LSN) (wal.LSN, error) {
 			// Records between the orphan record and this EOS were skipped
 			// by a past orphan recovery: make them invisible (§4.1).
 			if sess := s.sessions.get(rec.Session); sess != nil {
-				sess.pos.removeRange(rec.Orphan, lsn)
+				sess.removePosRange(rec.Orphan, lsn)
 			}
 		case logrec.TSessionEnd:
 			rec, err := logrec.DecodeSessionEnd(payload)
@@ -340,7 +340,7 @@ func (s *Server) replaySessionOnce(sess *Session) (restart bool, err error) {
 		sess.resetToInitial()
 	}
 
-	rp := &replayState{positions: sess.pos.snapshot()}
+	rp := &replayState{positions: sess.posSnapshot()}
 	ctx := &Ctx{srv: s, sess: sess, mode: modeReplay, rp: rp}
 
 	for rp.idx < len(rp.positions) && !rp.switched {

@@ -117,7 +117,9 @@ type Server struct {
 	// state is read on every request (hot path) and so kept atomic;
 	// stateMu serializes transitions with goBackground's WaitGroup
 	// increment (see goBackground) — it is never taken on the hot path.
-	stateMu sync.Mutex
+	// Root of the lattice (taken before any stripe or session lock),
+	// and noblock: its critical sections are a handful of instructions.
+	stateMu sync.Mutex   //mspr:lock-level 10 noblock
 	state   atomic.Int32 // serverState
 
 	// sessions is lock-striped (see shards.go); shared is immutable
@@ -770,7 +772,7 @@ func (s *Server) serveAcquired(sess *Session, req rpc.Request) {
 // delivered by the client's resend once the peer is reachable again).
 func (s *Server) sendReply(sess *Session, to simnet.Addr, rep rpc.Reply) error {
 	if s.cfg.Logging {
-		if sess.intraDomain {
+		if sess.intra() {
 			rep.HasDV = true
 			rep.DV = sess.vecWithSelf()
 		} else {
@@ -855,9 +857,13 @@ func (s *Server) lookupOrCreateSession(req rpc.Request) (*Session, sessionStatus
 		return nil, sessionRejected
 	}
 	sess = newSession(s, req.Session, req.From, req.HasDV)
-	sess.phase = phaseBusy // born acquired; published below
+	// Born acquired, published below: the session is not yet visible to
+	// any other goroutine, so the phase store and pin write need neither
+	// se.mu nor a declared transition.
+	//mspr:phasestate fresh session, born acquired before publication
+	sess.phase = phaseBusy //mspr:guardedby fresh session, not yet published
 	if s.cfg.Logging {
-		sess.startPin = s.log.Next()
+		sess.startPin = s.log.Next() //mspr:guardedby fresh session, not yet published
 	}
 	sh.m[req.Session] = sess
 	sh.mu.Unlock()

@@ -17,18 +17,24 @@ import (
 // the next interception point for busy ones (§4.1).
 type sessionPhase int
 
+// The //mspr:phase-next directives declare the legal transitions; the
+// phasestate analyzer proves every store in the tree follows them (the
+// self-transition is implicitly allowed, and any state may be torn down
+// to phaseEnded).
 const (
-	phaseIdle sessionPhase = iota
-	phaseBusy
-	phaseRecovering
-	phaseEnded
+	phaseIdle       sessionPhase = iota //mspr:phase-next phaseBusy phaseRecovering phaseUnrecovered phaseEnded
+	phaseBusy                           //mspr:phase-next phaseIdle phaseRecovering phaseEnded
+	phaseRecovering                     //mspr:phase-next phaseIdle phaseEnded
+	phaseEnded                          //mspr:phase-next none
 	// phaseUnrecovered marks a session known from the crash-recovery
 	// analysis scan whose state has not been re-materialized yet (instant
 	// recovery). The unit state machine is
 	// unrecovered → replaying (phaseRecovering) → live (phaseIdle);
 	// orphans discovered later re-enter phaseRecovering from idle/busy
-	// exactly as before the instant-recovery split.
-	phaseUnrecovered
+	// exactly as before the instant-recovery split. Nothing moves a unit
+	// BACK to unrecovered: once claimed, the one-winner guarantee of
+	// claimForReplay depends on the phase never reverting.
+	phaseUnrecovered //mspr:phase-next phaseRecovering phaseEnded
 )
 
 // Session is a recovery unit (§3.2): the private state an MSP keeps for
@@ -39,26 +45,36 @@ type Session struct {
 	id  string
 	srv *Server
 
-	mu          sync.Mutex
-	phase       sessionPhase
-	clientAddr  simnet.Addr
-	intraDomain bool
+	// mu is last in the acquisition lattice: stateMu (10) before a
+	// shard stripe (20) before a session. It is NOT noblock — the
+	// position stream writes to disk under it by design.
+	mu          sync.Mutex   //mspr:lock-level 30
+	phase       sessionPhase //mspr:guarded-by mu
+	clientAddr  simnet.Addr  //mspr:guarded-by mu
+	intraDomain bool         //mspr:guarded-by mu
 
-	vars     map[string][]byte
-	vec      dv.Vector // dependencies on other states (self added on demand)
-	stateLSN wal.LSN   // state number: LSN of this session's most recent log record
+	vars map[string][]byte //mspr:guarded-by mu
+	// vec: dependencies on other states (self added on demand).
+	vec dv.Vector //mspr:guarded-by mu
+	// stateLSN: state number — LSN of this session's most recent record.
+	stateLSN wal.LSN //mspr:guarded-by mu
 
 	seq      *rpc.SeqTracker
-	reply    rpc.Reply
-	hasReply bool
+	reply    rpc.Reply //mspr:guarded-by mu
+	hasReply bool      //mspr:guarded-by mu
 
-	outgoing map[string]*outSession // keyed by target MSP ID
+	// outgoing is keyed by target MSP ID.
+	outgoing map[string]*outSession //mspr:guarded-by mu
 
-	pos          *posStream
-	bytesLogged  int64   // log consumed since the last session checkpoint
-	startLSN     wal.LSN // LSN of the session's first log record
-	lastCkptLSN  wal.LSN // LSN of the most recent session checkpoint (0 = none)
-	mspCkptsPast int     // MSP checkpoints since the last session checkpoint
+	pos *posStream //mspr:guarded-by mu
+	// bytesLogged: log consumed since the last session checkpoint.
+	bytesLogged int64 //mspr:guarded-by mu
+	// startLSN: LSN of the session's first log record.
+	startLSN wal.LSN //mspr:guarded-by mu
+	// lastCkptLSN: LSN of the most recent session checkpoint (0 = none).
+	lastCkptLSN wal.LSN //mspr:guarded-by mu
+	// mspCkptsPast: MSP checkpoints since the last session checkpoint.
+	mspCkptsPast int //mspr:guarded-by mu
 
 	// startPin is the log's append position captured before the session
 	// became visible in the (striped) session table, written once before
@@ -66,12 +82,16 @@ type Session struct {
 	// fuzzy checkpointer clamps the log head at the pin: the SessionStart
 	// record, appended outside the shard lock, can only land at an LSN ≥
 	// startPin (see lookupOrCreateSession and writeMSPCheckpoint).
+	//
+	//mspr:guarded-by mu
 	startPin wal.LSN
 
 	// gaugePending mirrors whether this session is counted in
 	// metrics.Recovery.PendingSessions, making gauge retirement
 	// idempotent across the replay path, the sweep, and incarnation
 	// teardown (releasePendingUnits).
+	//
+	//mspr:guarded-by mu
 	gaugePending bool
 }
 
@@ -157,12 +177,19 @@ func (se *Session) finishRecovery() {
 
 // markUnrecovered publishes the session as a pending recovery unit at the
 // end of the analysis pass: known to the directory, not yet materialized.
+// Only an idle (scan-created, never claimed) session may enter
+// phaseUnrecovered: an unconditional store here could revert a unit that
+// a racing request or the background sweep already claimed for replay,
+// voiding claimForReplay's one-winner guarantee (the bug the phasestate
+// analyzer caught; see TestMarkUnrecoveredDoesNotRevertClaim).
 func (se *Session) markUnrecovered() {
 	se.mu.Lock()
-	se.phase = phaseUnrecovered
-	if !se.gaugePending {
-		se.gaugePending = true
-		metrics.Recovery.PendingSessions.Add(1)
+	if se.phase == phaseIdle {
+		se.phase = phaseUnrecovered
+		if !se.gaugePending {
+			se.gaugePending = true
+			metrics.Recovery.PendingSessions.Add(1)
+		}
 	}
 	se.mu.Unlock()
 }
@@ -191,6 +218,8 @@ func (se *Session) pendingReplay() bool {
 // clearPendingLocked retires the session from the pending gauge; callers
 // hold se.mu. Idempotent: the gauge moves once per crash no matter how
 // many paths (replay, sweep, teardown) race to retire the unit.
+//
+//mspr:holds mu
 func (se *Session) clearPendingLocked() {
 	if se.gaugePending {
 		se.gaugePending = false
@@ -476,13 +505,42 @@ func (se *Session) clientAddress() simnet.Addr {
 	return se.clientAddr
 }
 
+// intra reports whether the session's client is inside the domain (the
+// guardedby analyzer caught the previous direct field read in
+// sendReply, which raced with restoreFromCheckpoint).
+func (se *Session) intra() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.intraDomain
+}
+
+// posSnapshot returns a copy of the session's record positions for
+// replay.
+func (se *Session) posSnapshot() []wal.LSN {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.pos.snapshot()
+}
+
+// removePosRange drops positions in [from, to) from the stream (EOS
+// records found by the analysis scan make skipped records invisible).
+func (se *Session) removePosRange(from, to wal.LSN) {
+	se.mu.Lock()
+	se.pos.removeRange(from, to)
+	se.mu.Unlock()
+}
+
 // scanNote appends a position during the crash-recovery analysis scan.
+//
+//mspr:guardedby single-threaded analysis scan, before the session is published
 func (se *Session) scanNote(lsn wal.LSN, n int) {
 	se.pos.append(lsn)
 	se.bytesLogged += int64(n)
 }
 
 // scanStart applies a SessionStart record during the scan.
+//
+//mspr:guardedby single-threaded analysis scan, before the session is published
 func (se *Session) scanStart(rec logrec.SessionStart, lsn wal.LSN, n int) {
 	se.clientAddr = simnet.Addr(rec.ClientAddr)
 	se.intraDomain = rec.IntraDomain
@@ -495,6 +553,8 @@ func (se *Session) scanStart(rec logrec.SessionStart, lsn wal.LSN, n int) {
 // are discarded and the recovery starting point recorded. The checkpoint
 // record is re-read and fully decoded only if and when the session's
 // replay is claimed (replaySessionOnce).
+//
+//mspr:guardedby single-threaded analysis scan, before the session is published
 func (se *Session) scanCheckpointNote(ckptLSN wal.LSN) {
 	se.pos.truncateAll()
 	se.bytesLogged = 0

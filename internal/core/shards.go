@@ -28,10 +28,13 @@ import "sync"
 const numShards = 64
 
 // sessionShard is one stripe: a mutex and the sessions hashed to it.
-// Padding keeps adjacent shards' locks off the same cache line.
+// Padding keeps adjacent shards' locks off the same cache line. The
+// stripe lock sits between stateMu (10) and Session.mu (30) in the
+// lattice and is noblock: the hot path must never flush, send, or
+// otherwise stall while holding a stripe.
 type sessionShard struct {
-	mu sync.RWMutex
-	m  map[string]*Session
+	mu sync.RWMutex        //mspr:lock-level 20 noblock
+	m  map[string]*Session //mspr:guarded-by mu
 	_  [32]byte
 }
 
@@ -40,6 +43,10 @@ type sessionTable struct {
 	shards [numShards]sessionShard
 }
 
+// init allocates the shard maps; it runs once, before the table is
+// published to any other goroutine.
+//
+//mspr:guardedby mount-time initialization, single-threaded
 func (t *sessionTable) init() {
 	for i := range t.shards {
 		t.shards[i].m = make(map[string]*Session)

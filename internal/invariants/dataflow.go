@@ -1,0 +1,85 @@
+package invariants
+
+import "go/ast"
+
+// A forward dataflow problem over a cfg. Facts flow from the entry
+// block through every edge to a fixpoint; the solver is generic over
+// the fact type, so each analyzer supplies its own lattice:
+//
+//   - flushed-by: F = bool "a flush dominates", merge = AND (a send is
+//     safe only if EVERY incoming path flushed);
+//   - guardedby:  F = set of mutex classes held on all paths,
+//     merge = intersection (must-held);
+//   - lockorder:  F = set of mutex classes held on some path,
+//     merge = union (a violation on any interleaving is a violation);
+//   - phasestate: F = per-expression sets of possible phase constants,
+//     merge = union, refined along condition edges.
+//
+// Facts must be treated as immutable: transfer and refine return new
+// values (or the input unchanged), never mutate in place.
+type flowSpec[F any] struct {
+	entry    F                   // fact at function entry
+	transfer func(F, ast.Node) F // effect of one block node
+	merge    func(F, F) F        // join at control-flow merges
+	refine   func(F, *cfgEdge) F // optional per-edge narrowing (nil = identity)
+	equal    func(F, F) bool     // fixpoint termination test
+}
+
+// solve runs the worklist fixpoint and returns each reachable block's
+// ENTRY fact. Unreachable blocks (dead code, detached break targets)
+// are absent from the map; analyzers skip them. Analyzers that need
+// facts at a specific node re-run transfer over the block's node
+// prefix, which solveBlocks' callers do inline.
+func solve[F any](g *cfg, spec flowSpec[F]) map[*cfgBlock]F {
+	in := make(map[*cfgBlock]F)
+	entry := g.entry()
+	in[entry] = spec.entry
+	work := []*cfgBlock{entry}
+	queued := map[*cfgBlock]bool{entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		f := in[blk]
+		for _, n := range blk.nodes {
+			f = spec.transfer(f, n)
+		}
+		for i := range blk.succs {
+			e := &blk.succs[i]
+			ef := f
+			if spec.refine != nil {
+				ef = spec.refine(ef, e)
+			}
+			old, seen := in[e.to]
+			nf := ef
+			if seen {
+				nf = spec.merge(old, ef)
+			}
+			if !seen || !spec.equal(old, nf) {
+				in[e.to] = nf
+				if !queued[e.to] {
+					queued[e.to] = true
+					work = append(work, e.to)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// eachNodeFact walks every reachable block of g, calling visit with the
+// fact holding immediately BEFORE each node executes, in order. This is
+// the reporting pass analyzers run after solve: the fixpoint gives
+// block-entry facts, the re-applied transfers give node-level facts.
+func eachNodeFact[F any](g *cfg, spec flowSpec[F], in map[*cfgBlock]F, visit func(F, ast.Node)) {
+	for _, blk := range g.blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue
+		}
+		for _, n := range blk.nodes {
+			visit(f, n)
+			f = spec.transfer(f, n)
+		}
+	}
+}

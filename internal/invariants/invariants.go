@@ -19,6 +19,15 @@
 //	//mspr:codecparity <reason>     exempt a record field
 //	//mspr:failpointnames <reason>  exempt a failpoint name
 //	//mspr:walerr <reason>          exempt a dropped durability error
+//	//mspr:lockorder <reason>       exempt a lock-ordering site
+//	//mspr:guardedby <reason>       exempt an unguarded field access
+//	//mspr:phasestate <reason>      exempt a phase-constant store
+//
+// A second directive family DECLARES the concurrency model the
+// flow-sensitive analyzers check against (see annotations.go):
+// //mspr:guarded-by <mu> and //mspr:lock-level <n> [noblock] on struct
+// fields, //mspr:blocking <reason> and //mspr:holds <mu> on function
+// declarations, //mspr:phase-next <consts|none> on phase constants.
 //
 // A directive trailing a statement applies to that line; a directive
 // alone on a line applies to the next line; a directive in a top-level
@@ -64,23 +73,42 @@ func All() []*Analyzer {
 		CodecParity,
 		FailpointNames,
 		WALErr,
+		LockOrder,
+		GuardedBy,
+		PhaseState,
 	}
 }
 
+// directivesName attributes findings of the always-on hygiene pass
+// (malformed directives, mis-resolved annotation arguments). It is a
+// pseudo-analyzer: ByName accepts it (selecting no analyzers, so a run
+// checks hygiene alone) but All() does not list it.
+const directivesName = "directives"
+
 // ByName resolves a comma-separated analyzer list; empty selects all.
+// The pseudo-name "directives" selects the always-on hygiene pass
+// alone. An unknown name is an error naming the known analyzers.
 func ByName(names string) ([]*Analyzer, error) {
 	if names == "" {
 		return All(), nil
 	}
 	byName := make(map[string]*Analyzer)
+	known := []string{directivesName}
 	for _, a := range All() {
 		byName[a.Name] = a
+		known = append(known, a.Name)
 	}
-	var out []*Analyzer
+	out := []*Analyzer{}
 	for _, n := range strings.Split(names, ",") {
-		a, ok := byName[strings.TrimSpace(n)]
+		n = strings.TrimSpace(n)
+		if n == directivesName {
+			continue // hygiene always runs; selecting it adds no analyzer
+		}
+		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("invariants: unknown analyzer %q", n)
+			sort.Strings(known)
+			return nil, fmt.Errorf("invariants: unknown analyzer %q (known: %s)",
+				n, strings.Join(known, ", "))
 		}
 		out = append(out, a)
 	}
@@ -96,13 +124,28 @@ type Context struct {
 	loader   *Loader
 	current  *Analyzer
 	findings []Finding
+
+	annCache   *annotations // lazily resolved //mspr: declarations
+	noSuppress bool         // test hook: report through directives
 }
 
 // Run executes the analyzers over the packages and returns all findings
 // sorted by position. Directive hygiene (unknown verbs, missing
 // arguments) is always checked.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
-	ctx := &Context{Fset: l.Fset, Pkgs: pkgs, loader: l}
+	return run(l, pkgs, analyzers, false)
+}
+
+// runNoSuppress is Run with //mspr: suppression directives ignored: the
+// meta-test runs each fixture both ways and requires the no-suppression
+// pass to surface strictly more findings, proving every analyzer ships
+// a demonstrated suppressed case alongside its caught cases.
+func runNoSuppress(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return run(l, pkgs, analyzers, true)
+}
+
+func run(l *Loader, pkgs []*Package, analyzers []*Analyzer, noSuppress bool) []Finding {
+	ctx := &Context{Fset: l.Fset, Pkgs: pkgs, loader: l, noSuppress: noSuppress}
 	ctx.checkDirectives()
 	for _, a := range analyzers {
 		ctx.current = a
@@ -119,7 +162,13 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		// Full tiebreak: two findings from one analyzer at one position
+		// (a path-sensitive pass can report several paths) still diff
+		// deterministically in -json output.
+		return a.Message < b.Message
 	})
 	return ctx.findings
 }
@@ -128,12 +177,29 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 // it. The directive verb is the analyzer name (FlushBeforeSend uses
 // "flushed-by").
 func (ctx *Context) report(pkg *Package, pos token.Pos, format string, args ...any) {
-	if _, ok := pkg.suppressed(ctx.Fset, pos, ctx.current.Name); ok {
-		return
+	if !ctx.noSuppress {
+		if _, ok := pkg.suppressed(ctx.Fset, pos, ctx.current.Name); ok {
+			return
+		}
 	}
 	p := ctx.Fset.Position(pos)
 	ctx.findings = append(ctx.findings, Finding{
 		Analyzer: ctx.current.Name,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportAs files a finding under an explicit analyzer name, bypassing
+// suppression — used for annotation-hygiene errors (a guarded-by naming
+// a missing field), which, like malformed directives, must not be
+// silenceable.
+func (ctx *Context) reportAs(analyzer string, pkg *Package, pos token.Pos, format string, args ...any) {
+	p := ctx.Fset.Position(pos)
+	ctx.findings = append(ctx.findings, Finding{
+		Analyzer: analyzer,
 		File:     p.Filename,
 		Line:     p.Line,
 		Col:      p.Column,
@@ -147,7 +213,8 @@ type Directive struct {
 	Arg  string
 }
 
-// knownVerbs are the accepted directive verbs (the analyzer names).
+// knownVerbs are the accepted directive verbs: the analyzer names
+// (suppressions) plus the declaration verbs resolved in annotations.go.
 var knownVerbs = map[string]bool{
 	"wallclock":      true,
 	"flushed-by":     true,
@@ -155,6 +222,14 @@ var knownVerbs = map[string]bool{
 	"codecparity":    true,
 	"failpointnames": true,
 	"walerr":         true,
+	"lockorder":      true,
+	"guardedby":      true,
+	"phasestate":     true,
+	"guarded-by":     true,
+	"lock-level":     true,
+	"blocking":       true,
+	"holds":          true,
+	"phase-next":     true,
 }
 
 // dirIndex is a package's directive lookup structure.

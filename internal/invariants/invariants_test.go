@@ -1,8 +1,10 @@
 package invariants
 
 import (
+	"go/ast"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -87,6 +89,9 @@ func TestDVAliasFixture(t *testing.T)         { runFixture(t, "dvalias", DVAlias
 func TestCodecParityFixture(t *testing.T)     { runFixture(t, "codecparity", CodecParity) }
 func TestFailpointNamesFixture(t *testing.T)  { runFixture(t, "failpointnames", FailpointNames) }
 func TestWALErrFixture(t *testing.T)          { runFixture(t, "walerr", WALErr) }
+func TestLockOrderFixture(t *testing.T)       { runFixture(t, "lockorder", LockOrder) }
+func TestGuardedByFixture(t *testing.T)       { runFixture(t, "guardedby", GuardedBy) }
+func TestPhaseStateFixture(t *testing.T)      { runFixture(t, "phasestate", PhaseState) }
 
 // TestDirectivesFixture runs no analyzers at all: the malformed-directive
 // findings come from the always-on hygiene pass.
@@ -108,6 +113,165 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	for _, f := range Run(l, pkgs, All()) {
 		t.Errorf("%s", f)
+	}
+}
+
+// fixtureFor maps an analyzer to its golden-fixture directory; the
+// coverage meta-test fails when a newly registered analyzer has no
+// entry here (i.e. ships without fixtures).
+var fixtureFor = map[string]string{
+	"wallclock":      "wallclock",
+	"flushed-by":     "flushsend",
+	"dvalias":        "dvalias",
+	"codecparity":    "codecparity",
+	"failpointnames": "failpointnames",
+	"walerr":         "walerr",
+	"lockorder":      "lockorder",
+	"guardedby":      "guardedby",
+	"phasestate":     "phasestate",
+}
+
+// TestEveryAnalyzerHasCaughtAndSuppressedCases is the fixture-coverage
+// gate: every registered analyzer must demonstrate at least one caught
+// violation AND at least one //mspr:-suppressed case in its fixture.
+// The suppressed case is proven by re-running with suppression disabled
+// and requiring strictly more findings from that analyzer.
+func TestEveryAnalyzerHasCaughtAndSuppressedCases(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			fixture, ok := fixtureFor[a.Name]
+			if !ok {
+				t.Fatalf("analyzer %q has no fixture directory registered in fixtureFor", a.Name)
+			}
+			l, err := NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkgs, err := l.Load(".", filepath.Join("testdata", fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := func(fs []Finding) int {
+				n := 0
+				for _, f := range fs {
+					if f.Analyzer == a.Name {
+						n++
+					}
+				}
+				return n
+			}
+			caught := count(Run(l, pkgs, []*Analyzer{a}))
+			if caught == 0 {
+				t.Errorf("fixture %s has no caught case for %s", fixture, a.Name)
+			}
+			unsuppressed := count(runNoSuppress(l, pkgs, []*Analyzer{a}))
+			if unsuppressed <= caught {
+				t.Errorf("fixture %s has no suppressed case for %s: %d findings with suppression, %d without",
+					fixture, a.Name, caught, unsuppressed)
+			}
+		})
+	}
+}
+
+// TestFindingsDeterministic runs the full suite twice over the same
+// fixture and requires byte-identical, fully-ordered output: findings
+// carry column numbers and sort by (file, line, col, analyzer, message)
+// so -json diffs are stable across runs.
+func TestFindingsDeterministic(t *testing.T) {
+	load := func() (*Loader, []*Package) {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := l.Load(".", filepath.Join("testdata", "flushsend"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, pkgs
+	}
+	l1, p1 := load()
+	l2, p2 := load()
+	a := Run(l1, p1, All())
+	b := Run(l2, p2, All())
+	if len(a) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two runs disagree:\n%v\nvs\n%v", a, b)
+	}
+	for i, f := range a {
+		if f.Col == 0 {
+			t.Errorf("finding %d has no column: %s", i, f)
+		}
+		if i == 0 {
+			continue
+		}
+		p := a[i-1]
+		if p.File > f.File ||
+			(p.File == f.File && (p.Line > f.Line ||
+				(p.Line == f.Line && (p.Col > f.Col ||
+					(p.Col == f.Col && (p.Analyzer > f.Analyzer ||
+						(p.Analyzer == f.Analyzer && p.Message > f.Message))))))) {
+			t.Errorf("findings out of order at %d: %s after %s", i, f, p)
+		}
+	}
+}
+
+// TestLexicalDominanceMissesBranch pins down why the pass went
+// path-sensitive: PR 3's lexical check accepts sendMaybeFlushed (a
+// flush DOES appear earlier in the source), while the dataflow pass
+// reports the branch that skips it.
+func TestLexicalDominanceMissesBranch(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(".", filepath.Join("testdata", "flushsend"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkg *Package
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.ImportPath, "flushsend") {
+			pkg = p
+		}
+	}
+	if pkg == nil {
+		t.Fatal("fixture package not loaded")
+	}
+	var body *ast.BlockStmt
+	var emit *ast.CallExpr
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "sendMaybeFlushed" {
+				continue
+			}
+			body = fd.Body
+			ast.Inspect(body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isEmitCall(pkg, call) {
+					emit = call
+				}
+				return true
+			})
+		}
+	}
+	if body == nil || emit == nil {
+		t.Fatal("sendMaybeFlushed emit call not found in fixture")
+	}
+	if !lexicallyDominated(pkg, body, emit) {
+		t.Error("lexical pass should accept sendMaybeFlushed (flush earlier in source)")
+	}
+	emitLine := l.Fset.Position(emit.Pos()).Line
+	found := false
+	for _, f := range Run(l, pkgs, []*Analyzer{FlushBeforeSend}) {
+		if f.Line == emitLine && strings.Contains(f.Message, "reachable without a flush") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("path-sensitive pass missed the unflushed branch at line %d", emitLine)
 	}
 }
 

@@ -1,0 +1,302 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder enforces the declared lock lattice on the sharded hot path.
+// PR 5 striped the session table and PR 7 made recovery concurrent with
+// service; the code now nests three mutex families — Server.stateMu,
+// sessionShard.mu, Session.mu — and the protocol is deadlock-free only
+// if they are always acquired in that order, and only if nothing blocks
+// (a wal flush, a simnet send, an unbounded wait) while a hot-path
+// stripe lock is held. Both rules come from //mspr: declarations:
+//
+//   - //mspr:lock-level <n> [noblock] ranks a mutex field; acquiring a
+//     lock while holding one of equal or higher rank (on ANY path — the
+//     held-set analysis is a may-analysis, merge = union) is a finding,
+//     including re-acquiring the same class (self-deadlock);
+//   - while a lock marked noblock is held, any operation that may block
+//     is a finding: a call to an //mspr:blocking root (wal.Log.Flush,
+//     simnet.Endpoint.Send, simtime.Sleep, ...), a call whose
+//     TRANSITIVE summary may block (annotations.go propagates over the
+//     static call graph), sync.WaitGroup.Wait / sync.Cond.Wait, a
+//     channel operation, or a select without a default.
+//
+// Calls through function values and interfaces are unresolvable and not
+// tracked (the documented limit — sessionTable.forEach's callback runs
+// under a stripe lock the literal's analysis cannot see); //mspr:holds
+// seeds the entry held-set for *Locked-style helpers.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce the declared mutex lattice and no-blocking-under-lock on every path",
+	Run:  runLockOrder,
+}
+
+// heldSet is an immutable set of held lock classes.
+type heldSet map[*types.Var]bool
+
+func (h heldSet) with(v *types.Var) heldSet {
+	if h[v] {
+		return h
+	}
+	n := make(heldSet, len(h)+1)
+	for k := range h {
+		n[k] = true
+	}
+	n[v] = true
+	return n
+}
+
+func (h heldSet) without(v *types.Var) heldSet {
+	if !h[v] {
+		return h
+	}
+	n := make(heldSet, len(h))
+	for k := range h {
+		if k != v {
+			n[k] = true
+		}
+	}
+	return n
+}
+
+func heldUnion(a, b heldSet) heldSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	n := make(heldSet, len(a)+len(b))
+	for k := range a {
+		n[k] = true
+	}
+	for k := range b {
+		n[k] = true
+	}
+	return n
+}
+
+func heldIntersect(a, b heldSet) heldSet {
+	n := make(heldSet)
+	for k := range a {
+		if b[k] {
+			n[k] = true
+		}
+	}
+	return n
+}
+
+func heldEqual(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func entryHeldSet(anns *annotations, pkg *Package, fs funcScope) heldSet {
+	h := make(heldSet)
+	for _, mu := range anns.entryHeld(pkg, fs) {
+		h[mu] = true
+	}
+	return h
+}
+
+// heldTransfer is the shared lock-tracking transfer function: acquires
+// add a class, releases remove it — unless the release is deferred, in
+// which case it runs at return and the lock stays held through the
+// body. Used by both lockorder (may) and guardedby (must).
+func heldTransfer(pkg *Package, held heldSet, n ast.Node) heldSet {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return held
+	}
+	inspectNode(n, func(sub ast.Node) bool {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, acquire, release, ok := lockOp(pkg.Info, call); ok {
+			if acquire {
+				held = held.with(class)
+			} else if release {
+				held = held.without(class)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+func runLockOrder(ctx *Context) {
+	anns := ctx.anns()
+	if len(anns.lockLevels) == 0 {
+		return // no lattice declared in the loaded packages
+	}
+	for _, pkg := range ctx.Pkgs {
+		for _, file := range pkg.Files {
+			eachFunc(file, func(fs funcScope) {
+				checkLockOrder(ctx, anns, pkg, fs)
+			})
+		}
+	}
+}
+
+func checkLockOrder(ctx *Context, anns *annotations, pkg *Package, fs funcScope) {
+	// Comm statements of select clauses are judged as part of their
+	// select (which is the blocking point, and only when it has no
+	// default), not as standalone channel operations.
+	commStmts := make(map[ast.Node]bool)
+	inspectNoFuncLit(fs.body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cc := range sel.Body.List {
+				if c, ok := cc.(*ast.CommClause); ok && c.Comm != nil {
+					commStmts[c.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	g := buildCFG(fs.body)
+	spec := flowSpec[heldSet]{
+		entry:    entryHeldSet(anns, pkg, fs),
+		transfer: func(h heldSet, n ast.Node) heldSet { return heldTransfer(pkg, h, n) },
+		merge:    heldUnion,
+		equal:    heldEqual,
+	}
+	in := solve(g, spec)
+
+	eachNodeFact(g, spec, in, func(held heldSet, n ast.Node) {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return // runs at exit; the Unlock there is the release, not a use
+		}
+		// maxRanked: the highest-ranked held lock, for ordering checks;
+		// noblockHeld: any held lock forbidding blocking operations.
+		var noblockHeld *types.Var
+		maxLevel, haveRanked := 0, false
+		for class := range held {
+			if ll, ok := anns.lockLevels[class]; ok {
+				if !haveRanked || ll.level > maxLevel {
+					maxLevel = ll.level
+				}
+				haveRanked = true
+				if ll.noblock && noblockHeld == nil {
+					noblockHeld = class
+				}
+			}
+		}
+		isComm := commStmts[n]
+		inspectNode(n, func(sub ast.Node) bool {
+			switch sub := sub.(type) {
+			case *ast.SendStmt:
+				if noblockHeld != nil && !isComm {
+					ctx.report(pkg, sub.Pos(),
+						"channel send while holding noblock lock %s", lockName(noblockHeld))
+				}
+			case *ast.UnaryExpr:
+				if sub.Op == token.ARROW && noblockHeld != nil && !isComm {
+					ctx.report(pkg, sub.Pos(),
+						"channel receive while holding noblock lock %s", lockName(noblockHeld))
+				}
+			case *ast.SelectStmt:
+				if noblockHeld != nil && !hasDefaultCommClause(sub) {
+					ctx.report(pkg, sub.Pos(),
+						"blocking select while holding noblock lock %s", lockName(noblockHeld))
+				}
+				// The clause bodies are separate CFG blocks; don't
+				// re-inspect them here.
+				return false
+			case *ast.CallExpr:
+				if class, acquire, _, ok := lockOp(pkg.Info, sub); ok {
+					if acquire {
+						if ll, ranked := anns.lockLevels[class]; ranked && haveRanked && ll.level <= maxLevel {
+							ctx.report(pkg, sub.Pos(),
+								"acquiring %s (level %d) while holding a lock of level >= %d: %s",
+								lockName(class), ll.level, ll.level, orderHint(anns, held, class))
+						}
+					}
+					return true
+				}
+				callee := calleeFunc(pkg.Info, sub)
+				if callee == nil {
+					return true
+				}
+				if noblockHeld != nil && (isStdlibBlocking(callee) || anns.mayBlock[callee]) {
+					ctx.report(pkg, sub.Pos(),
+						"call to %s, which may block, while holding noblock lock %s",
+						callee.Name(), lockName(noblockHeld))
+				}
+				if haveRanked {
+					for class := range anns.mayAcquire[callee] {
+						if ll := anns.lockLevels[class]; ll.level <= maxLevel {
+							ctx.report(pkg, sub.Pos(),
+								"call to %s may acquire %s (level %d) while holding a lock of level >= %d: %s",
+								callee.Name(), lockName(class), ll.level, ll.level,
+								orderHint(anns, held, class))
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// lockName renders a mutex class as Type.field (or just the variable
+// name for non-field mutexes).
+func lockName(v *types.Var) string {
+	if v.IsField() {
+		if owner := fieldOwnerName(v); owner != "" {
+			return owner + "." + v.Name()
+		}
+	}
+	return v.Name()
+}
+
+// fieldOwnerName finds the named type whose struct holds the field, by
+// scanning the field's package scope.
+func fieldOwnerName(f *types.Var) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// orderHint names the held ranked locks, worst first, so the finding
+// reads as a concrete ordering violation.
+func orderHint(anns *annotations, held heldSet, acquiring *types.Var) string {
+	var names []string
+	for class := range held {
+		if ll, ok := anns.lockLevels[class]; ok && ll.level >= anns.lockLevels[acquiring].level {
+			names = append(names, lockName(class))
+		}
+	}
+	sort.Strings(names)
+	return "the lattice orders it before " + strings.Join(names, ", ")
+}

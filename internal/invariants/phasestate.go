@@ -1,0 +1,471 @@
+package invariants
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PhaseState checks that stores to a declared state-machine type only
+// perform allowed transitions. The session lifecycle is the motivating
+// machine: PR 7's instant recovery added phaseUnrecovered and the
+// claimForReplay one-winner protocol, and its exactly-once argument is
+// precisely "no store moves a session along an undeclared edge" —
+// unrecovered may only become recovering (the claim) or ended, never
+// idle or busy directly, or a request could run against
+// unmaterialized state.
+//
+// The machine is declared on the constants themselves:
+//
+//	phaseIdle sessionPhase = iota //mspr:phase-next phaseBusy ...
+//
+// names the allowed successors ("none" for terminal states; the
+// self-transition is always allowed). The analyzer then runs a forward
+// dataflow tracking, per spelled field path (`se.phase`), the SET of
+// constants the value may hold — narrowed along branch and switch
+// edges (`if se.phase != phaseIdle { return }` leaves {phaseIdle} on
+// the fall-through), widened to everything at joins, calls and
+// non-constant stores. A store must be an allowed transition from
+// EVERY constant still in the set; guarded transition helpers
+// (tryAcquire, claimForReplay) therefore pass, and an unguarded store
+// is a finding unless every state reaches the target.
+var PhaseState = &Analyzer{
+	Name: "phasestate",
+	Doc:  "require stores to declared phase types to follow the //mspr:phase-next machine",
+	Run:  runPhaseState,
+}
+
+// phaseMachine is one declared state machine: the constants of a named
+// type, each with a successor set.
+type phaseMachine struct {
+	typ      *types.Named
+	consts   []*types.Const // declaration order
+	index    map[*types.Const]int
+	next     map[*types.Const]map[*types.Const]bool
+	universe uint64 // bitmask of all constants
+}
+
+func (m *phaseMachine) mask(c *types.Const) uint64 { return 1 << m.index[c] }
+
+func (m *phaseMachine) names(set uint64) string {
+	var out []string
+	for i, c := range m.consts {
+		if set&(1<<i) != 0 {
+			out = append(out, c.Name())
+		}
+	}
+	return strings.Join(out, ", ")
+}
+
+// phaseMachines resolves every //mspr:phase-next declaration in the
+// loaded packages. A type with any annotated constant must have every
+// constant annotated (an incomplete machine silently allows anything),
+// and successor names must resolve to constants of the same type; both
+// are hygiene findings.
+func phaseMachines(ctx *Context) map[*types.Named]*phaseMachine {
+	machines := make(map[*types.Named]*phaseMachine)
+	type constDecl struct {
+		c    *types.Const
+		pkg  *Package
+		spec *ast.ValueSpec
+	}
+	byType := make(map[*types.Named][]constDecl)
+	for _, pkg := range ctx.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, name := range vs.Names {
+						c, ok := pkg.Info.Defs[name].(*types.Const)
+						if !ok {
+							continue
+						}
+						named, ok := c.Type().(*types.Named)
+						if !ok {
+							continue
+						}
+						byType[named] = append(byType[named], constDecl{c, pkg, vs})
+					}
+				}
+			}
+		}
+	}
+	for named, decls := range byType {
+		type annotated struct {
+			constDecl
+			d Directive
+		}
+		var anns []annotated
+		var missing []constDecl
+		for _, cd := range decls {
+			pos := ctx.Fset.Position(cd.spec.Pos())
+			var dir *Directive
+			for _, d := range cd.pkg.dirs.byLine[pos.Filename][pos.Line] {
+				if d.Verb == "phase-next" {
+					dir = &d
+					break
+				}
+			}
+			if dir == nil && cd.spec.Doc != nil {
+				for _, c := range cd.spec.Doc.List {
+					if d, ok := parseDirective(c.Text); ok && d.Verb == "phase-next" {
+						dir = &d
+						break
+					}
+				}
+			}
+			if dir != nil {
+				anns = append(anns, annotated{cd, *dir})
+			} else {
+				missing = append(missing, cd)
+			}
+		}
+		if len(anns) == 0 {
+			continue
+		}
+		for _, cd := range missing {
+			ctx.reportAs(directivesName, cd.pkg, cd.spec.Pos(),
+				"constant %s of %s has no //mspr:phase-next, but other constants of the type do: the machine must be total",
+				cd.c.Name(), named.Obj().Name())
+		}
+		m := &phaseMachine{
+			typ:   named,
+			index: make(map[*types.Const]int),
+			next:  make(map[*types.Const]map[*types.Const]bool),
+		}
+		byName := make(map[string]*types.Const)
+		sort.Slice(decls, func(i, j int) bool { return decls[i].c.Pos() < decls[j].c.Pos() })
+		for _, cd := range decls {
+			m.index[cd.c] = len(m.consts)
+			m.consts = append(m.consts, cd.c)
+			byName[cd.c.Name()] = cd.c
+		}
+		m.universe = (1 << len(m.consts)) - 1
+		for _, a := range anns {
+			succs := make(map[*types.Const]bool)
+			if a.d.Arg != "none" {
+				for _, name := range strings.Fields(a.d.Arg) {
+					succ, ok := byName[name]
+					if !ok {
+						ctx.reportAs(directivesName, a.pkg, a.spec.Pos(),
+							"//mspr:phase-next %s: %q is not a constant of %s",
+							a.d.Arg, name, named.Obj().Name())
+						continue
+					}
+					succs[succ] = true
+				}
+			}
+			m.next[a.c] = succs
+		}
+		machines[named] = m
+	}
+	return machines
+}
+
+// phaseFact maps a spelled expression path ("se.phase") to the bitmask
+// of constants the value may hold; an absent key means anything.
+type phaseFact map[string]uint64
+
+func (f phaseFact) clone() phaseFact {
+	n := make(phaseFact, len(f))
+	for k, v := range f {
+		n[k] = v
+	}
+	return n
+}
+
+func phaseMerge(a, b phaseFact) phaseFact {
+	n := make(phaseFact)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			n[k] = va | vb
+		}
+	}
+	return n
+}
+
+func phaseEqual(a, b phaseFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runPhaseState(ctx *Context) {
+	machines := phaseMachines(ctx)
+	if len(machines) == 0 {
+		return
+	}
+	for _, pkg := range ctx.Pkgs {
+		for _, file := range pkg.Files {
+			eachFunc(file, func(fs funcScope) {
+				checkPhaseState(ctx, machines, pkg, fs)
+			})
+		}
+	}
+}
+
+// machineOf returns the machine for an expression's type, if any.
+func machineOf(machines map[*types.Named]*phaseMachine, pkg *Package, e ast.Expr) *phaseMachine {
+	t := pkg.Info.TypeOf(e)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return machines[named]
+}
+
+// phaseKey renders a trackable path for an expression: a chain of
+// identifiers and field selections. Anything else (an index, a call in
+// the chain) is untrackable and returns "".
+func phaseKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := phaseKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// constOf resolves an expression to a machine constant.
+func constOf(pkg *Package, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := pkg.Info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pkg.Info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+func checkPhaseState(ctx *Context, machines map[*types.Named]*phaseMachine, pkg *Package, fs funcScope) {
+	// Pre-scan: only analyze functions that store to a machine type.
+	stores := false
+	inspectNoFuncLit(fs.body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if machineOf(machines, pkg, lhs) != nil {
+					stores = true
+				}
+			}
+		}
+		return !stores
+	})
+	if !stores {
+		return
+	}
+
+	g := buildCFG(fs.body)
+	refine := func(f phaseFact, e *cfgEdge) phaseFact {
+		switch {
+		case e.cond != nil:
+			return refineCond(machines, pkg, f, e.cond, !e.negate)
+		case e.tag != nil && (len(e.cases) > 0 || len(e.notCases) > 0):
+			m := machineOf(machines, pkg, e.tag)
+			key := phaseKey(e.tag)
+			if m == nil || key == "" {
+				return f
+			}
+			if len(e.cases) > 0 {
+				var mask uint64
+				for _, ce := range e.cases {
+					if c := constOf(pkg, ce); c != nil {
+						mask |= m.mask(c)
+					} else {
+						return f // a non-constant case defeats refinement
+					}
+				}
+				return constrain(f, key, m, mask)
+			}
+			mask := m.universe
+			for _, ce := range e.notCases {
+				if c := constOf(pkg, ce); c != nil {
+					mask &^= m.mask(c)
+				}
+			}
+			return constrain(f, key, m, mask)
+		}
+		return f
+	}
+	spec := flowSpec[phaseFact]{
+		entry: make(phaseFact),
+		transfer: func(f phaseFact, n ast.Node) phaseFact {
+			return phaseTransfer(nil, machines, pkg, f, n)
+		},
+		merge:  phaseMerge,
+		refine: refine,
+		equal:  phaseEqual,
+	}
+	in := solve(g, spec)
+
+	eachNodeFact(g, spec, in, func(f phaseFact, n ast.Node) {
+		phaseTransfer(&reporter{ctx, pkg}, machines, pkg, f, n)
+	})
+}
+
+type reporter struct {
+	ctx *Context
+	pkg *Package
+}
+
+// phaseTransfer applies one node: calls invalidate every tracked path
+// (any callee may mutate any phase field), constant stores are checked
+// (when rep is non-nil) and narrow the path to the stored constant,
+// non-constant stores widen to unknown.
+func phaseTransfer(rep *reporter, machines map[*types.Named]*phaseMachine, pkg *Package, f phaseFact, n ast.Node) phaseFact {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return f
+	}
+	out := f
+	owned := false // lazily clone-on-write
+	mutate := func() phaseFact {
+		if !owned {
+			out = out.clone()
+			owned = true
+		}
+		return out
+	}
+	inspectNode(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.CallExpr:
+			if len(out) > 0 {
+				if _, _, _, isLock := lockOp(pkg.Info, sub); !isLock {
+					out = make(phaseFact)
+					owned = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range sub.Lhs {
+				m := machineOf(machines, pkg, lhs)
+				if m == nil {
+					continue
+				}
+				key := phaseKey(lhs)
+				var rhs ast.Expr
+				if len(sub.Rhs) == len(sub.Lhs) {
+					rhs = sub.Rhs[i]
+				}
+				var c *types.Const
+				if rhs != nil {
+					c = constOf(pkg, rhs)
+				}
+				if c == nil || m.index[c] == 0 && m.consts[0] != c {
+					if key != "" {
+						delete(mutate(), key)
+					}
+					continue
+				}
+				cur := m.universe
+				if key != "" {
+					if v, ok := out[key]; ok {
+						cur = v
+					}
+				}
+				if rep != nil {
+					bad := cur &^ (m.mask(c) | succMask(m, c))
+					if bad != 0 {
+						rep.ctx.report(rep.pkg, sub.Pos(),
+							"store of %s to a %s that may be %s: not an allowed //mspr:phase-next transition (allowed predecessors: %s)",
+							c.Name(), m.typ.Obj().Name(), m.names(bad), m.names(predMask(m, c)|m.mask(c)))
+					}
+				}
+				if key != "" {
+					mutate()[key] = m.mask(c)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// succMask is the set of states FROM which c is reachable in one step.
+func succMask(m *phaseMachine, c *types.Const) uint64 {
+	var mask uint64
+	for from, succs := range m.next {
+		if succs[c] {
+			mask |= m.mask(from)
+		}
+	}
+	return mask
+}
+
+// predMask is an alias of succMask with the reporting-friendly name:
+// the constants allowed to precede a store of c.
+func predMask(m *phaseMachine, c *types.Const) uint64 { return succMask(m, c) }
+
+// constrain narrows key's possible set to mask (intersecting with the
+// current set, universe when untracked).
+func constrain(f phaseFact, key string, m *phaseMachine, mask uint64) phaseFact {
+	cur := m.universe
+	if v, ok := f[key]; ok {
+		cur = v
+	}
+	nv := cur & mask
+	if nv == cur {
+		return f
+	}
+	n := f.clone()
+	n[key] = nv
+	return n
+}
+
+// refineCond structurally interprets a branch condition: equality and
+// inequality against machine constants narrow the tracked path on the
+// corresponding edge; && and || distribute when sound; everything else
+// leaves the fact unchanged (refinement may only shrink sets, so
+// skipping is safe).
+func refineCond(machines map[*types.Named]*phaseMachine, pkg *Package, f phaseFact, cond ast.Expr, want bool) phaseFact {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return refineCond(machines, pkg, f, e.X, !want)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if want { // both true
+				return refineCond(machines, pkg, refineCond(machines, pkg, f, e.X, true), e.Y, true)
+			}
+		case token.LOR:
+			if !want { // both false
+				return refineCond(machines, pkg, refineCond(machines, pkg, f, e.X, false), e.Y, false)
+			}
+		case token.EQL, token.NEQ:
+			x, y := e.X, e.Y
+			if constOf(pkg, x) != nil {
+				x, y = y, x
+			}
+			m := machineOf(machines, pkg, x)
+			key := phaseKey(x)
+			c := constOf(pkg, y)
+			if m == nil || key == "" || c == nil {
+				return f
+			}
+			equalEdge := (e.Op == token.EQL) == want
+			if equalEdge {
+				return constrain(f, key, m, m.mask(c))
+			}
+			return constrain(f, key, m, m.universe&^m.mask(c))
+		}
+	}
+	return f
+}

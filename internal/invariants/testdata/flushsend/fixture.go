@@ -1,6 +1,7 @@
-// Package fixture exercises the flushed-by analyzer: every message
-// emission needs a lexically dominating log flush or an
-// //mspr:flushed-by directive, and a function literal is its own scope.
+// Package fixture exercises the path-sensitive flushed-by analyzer:
+// every message emission needs a flush on EVERY control-flow path
+// reaching it, or an //mspr:flushed-by directive, and a function
+// literal is its own scope.
 package fixture
 
 import (
@@ -24,7 +25,7 @@ func (n *node) sendDurable(to simnet.Addr, msg any, upTo wal.LSN) error {
 
 // sendRaw emits without any flush.
 func (n *node) sendRaw(to simnet.Addr, msg any) {
-	n.ep.Send(to, msg) // want "Send without a dominating log flush"
+	n.ep.Send(to, msg) // want "reachable without a flush"
 }
 
 // sendAsync flushes, but the send runs in a goroutine: the flush does
@@ -34,7 +35,7 @@ func (n *node) sendAsync(to simnet.Addr, msg any, upTo wal.LSN) error {
 		return err
 	}
 	go func() {
-		n.ep.Send(to, msg) // want "Send without a dominating log flush"
+		n.ep.Send(to, msg) // want "reachable without a flush"
 	}()
 	return nil
 }
@@ -42,4 +43,58 @@ func (n *node) sendAsync(to simnet.Addr, msg any, upTo wal.LSN) error {
 // sendControl is a documented exception: the envelope carries no state.
 func (n *node) sendControl(to simnet.Addr, msg any) {
 	n.ep.Send(to, msg) //mspr:flushed-by none (fixture control envelope carries no log state)
+}
+
+// sendMaybeFlushed flushes on only one branch. PR 3's lexical pass
+// accepted this (a flush appears earlier in the source); the
+// path-sensitive pass reports the urgent=false path that reaches the
+// send unflushed.
+func (n *node) sendMaybeFlushed(to simnet.Addr, msg any, upTo wal.LSN, urgent bool) {
+	if urgent {
+		_ = n.log.Flush(upTo)
+	}
+	n.ep.Send(to, msg) // want "reachable without a flush"
+}
+
+// sendEitherWay flushes on BOTH branches: no single flush dominates
+// lexically-structurally, but every path is covered — clean.
+func (n *node) sendEitherWay(to simnet.Addr, msg any, upTo wal.LSN, fast bool) {
+	if fast {
+		_ = n.log.Flush(upTo)
+	} else {
+		_ = n.log.Flush(0)
+	}
+	n.ep.Send(to, msg)
+}
+
+// sendDeferredFlush defers the flush: defers run AFTER the body, so the
+// send still leaves unflushed state.
+func (n *node) sendDeferredFlush(to simnet.Addr, msg any, upTo wal.LSN) {
+	defer n.log.Flush(upTo)
+	n.ep.Send(to, msg) // want "reachable without a flush"
+}
+
+// sendLoop flushes once before a retry loop: the back edge does not
+// lose the fact — clean.
+func (n *node) sendLoop(to simnet.Addr, msg any, upTo wal.LSN) error {
+	if err := n.log.Flush(upTo); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		n.ep.Send(to, msg)
+	}
+	return nil
+}
+
+// sendSwitchGap flushes in all but one switch arm: only the gap is
+// reported.
+func (n *node) sendSwitchGap(to simnet.Addr, msg any, upTo wal.LSN, kind int) {
+	switch kind {
+	case 0:
+		_ = n.log.Flush(upTo)
+	case 1:
+		_ = n.log.Flush(upTo)
+	default:
+	}
+	n.ep.Send(to, msg) // want "reachable without a flush"
 }

@@ -1,0 +1,71 @@
+// Package fixture exercises the guardedby analyzer: fields annotated
+// //mspr:guarded-by <mu> may only be accessed on paths where that mutex
+// is held — a must-analysis, so a lock taken on only one branch does
+// not bless the access after the join.
+package fixture
+
+import "sync"
+
+type account struct {
+	mu  sync.Mutex
+	bal int //mspr:guarded-by mu
+	id  int // unguarded: construction-time constant
+}
+
+// deposit holds the lock around the access: clean.
+func (a *account) deposit(n int) {
+	a.mu.Lock()
+	a.bal += n
+	a.mu.Unlock()
+}
+
+// withdraw uses the deferred-unlock idiom: the lock stays held through
+// the body — clean.
+func (a *account) withdraw(n int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bal -= n
+	return a.bal
+}
+
+// peek reads without the lock.
+func (a *account) peek() int {
+	return a.bal // want "account.bal is accessed without holding account.mu"
+}
+
+// halfLocked locks on only one branch: the access after the join is not
+// protected on every path.
+func (a *account) halfLocked(n int, careful bool) {
+	if careful {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+	}
+	a.bal += n // want "account.bal is accessed without holding account.mu"
+}
+
+// releasedTooSoon unlocks before the access.
+func (a *account) releasedTooSoon() int {
+	a.mu.Lock()
+	a.mu.Unlock()
+	return a.bal // want "account.bal is accessed without holding account.mu"
+}
+
+// balLocked documents that its caller owns the lock: clean.
+//
+//mspr:holds mu
+func (a *account) balLocked() int {
+	return a.bal
+}
+
+// newAccount touches the field before the object is published — the
+// deliberate-exception directive documents why.
+func newAccount(id int) *account {
+	a := &account{id: id}
+	a.bal = 0 //mspr:guardedby fresh object, not yet visible to any other goroutine
+	return a
+}
+
+// ident reads the unguarded sibling with no lock: clean.
+func (a *account) ident() int {
+	return a.id
+}

@@ -1,0 +1,143 @@
+// Package fixture exercises the lockorder analyzer: the //mspr:lock-level
+// lattice orders acquisitions, and noblock locks forbid blocking
+// operations — channel ops, blocking selects, //mspr:blocking roots and
+// their transitive callers — while held.
+package fixture
+
+import "sync"
+
+type server struct {
+	stateMu sync.Mutex //mspr:lock-level 10 noblock
+	tableMu sync.Mutex //mspr:lock-level 20
+	ch      chan int
+}
+
+// ordered acquires in increasing rank: clean.
+func (s *server) ordered() {
+	s.stateMu.Lock()
+	s.tableMu.Lock()
+	s.tableMu.Unlock()
+	s.stateMu.Unlock()
+}
+
+// inverted takes the table lock first, then the state lock: the lattice
+// orders stateMu before tableMu.
+func (s *server) inverted() {
+	s.tableMu.Lock()
+	s.stateMu.Lock() // want "acquiring server.stateMu (level 10) while holding a lock of level >= 10"
+	s.stateMu.Unlock()
+	s.tableMu.Unlock()
+}
+
+// reentrant re-acquires the same class: self-deadlock.
+func (s *server) reentrant() {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.stateMu.Lock() // want "acquiring server.stateMu (level 10) while holding a lock of level >= 10"
+	s.stateMu.Unlock()
+}
+
+// onePathHolds locks on only one branch: lockorder is a may-analysis,
+// so the acquisition after the join is still a finding.
+func (s *server) onePathHolds(cond bool) {
+	if cond {
+		s.tableMu.Lock()
+		defer s.tableMu.Unlock()
+	}
+	s.stateMu.Lock() // want "acquiring server.stateMu"
+	s.stateMu.Unlock()
+}
+
+// sendUnderLock blocks on a channel while holding the noblock lock.
+func (s *server) sendUnderLock(v int) {
+	s.stateMu.Lock()
+	s.ch <- v // want "channel send while holding noblock lock server.stateMu"
+	s.stateMu.Unlock()
+}
+
+// recvAfterUnlock releases first: clean.
+func (s *server) recvAfterUnlock() int {
+	s.stateMu.Lock()
+	s.stateMu.Unlock()
+	return <-s.ch
+}
+
+// waitForever is a declared blocking root.
+//
+//mspr:blocking fixture stand-in for a log flush
+func (s *server) waitForever() {
+	<-s.ch
+}
+
+// callsBlockingDirect calls the root under the noblock lock.
+func (s *server) callsBlockingDirect() {
+	s.stateMu.Lock()
+	s.waitForever() // want "call to waitForever, which may block, while holding noblock lock"
+	s.stateMu.Unlock()
+}
+
+// indirection only forwards; it may block transitively.
+func (s *server) indirection() {
+	s.waitForever()
+}
+
+// callsBlockingTransitively reaches the root through a local wrapper:
+// the call-graph summary propagates may-block.
+func (s *server) callsBlockingTransitively() {
+	s.stateMu.Lock()
+	s.indirection() // want "call to indirection, which may block, while holding noblock lock"
+	s.stateMu.Unlock()
+}
+
+// callsAcquirer calls a helper that takes tableMu while already holding
+// it: the may-acquire summary catches the indirect re-acquisition.
+func (s *server) callsAcquirer() {
+	s.tableMu.Lock()
+	s.lockedHelper() // want "call to lockedHelper may acquire server.tableMu (level 20)"
+	s.tableMu.Unlock()
+}
+
+func (s *server) lockedHelper() {
+	s.tableMu.Lock()
+	s.tableMu.Unlock()
+}
+
+// underTable documents that its caller already holds tableMu: acquiring
+// the lower-ranked state lock inside is an inversion even though no
+// Lock call appears in this body.
+//
+//mspr:holds tableMu
+func (s *server) underTable() {
+	s.stateMu.Lock() // want "acquiring server.stateMu (level 10)"
+	s.stateMu.Unlock()
+}
+
+// selectUnderLock parks on a select with no default while holding the
+// noblock lock.
+func (s *server) selectUnderLock() {
+	s.stateMu.Lock()
+	select { // want "blocking select while holding noblock lock server.stateMu"
+	case <-s.ch:
+	case s.ch <- 0:
+	}
+	s.stateMu.Unlock()
+}
+
+// pollUnderLock uses a default clause: never parks — clean.
+func (s *server) pollUnderLock() (v int, ok bool) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	select {
+	case v = <-s.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// shutdownSend is a deliberate exception, documented in place.
+func (s *server) shutdownSend(v int) {
+	s.stateMu.Lock()
+	s.ch <- v //mspr:lockorder fixture: buffered shutdown channel, never contended
+	s.stateMu.Unlock()
+}

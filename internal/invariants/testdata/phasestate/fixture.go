@@ -1,0 +1,86 @@
+// Package fixture exercises the phasestate analyzer: constants carrying
+// //mspr:phase-next form a state machine, and every store must be an
+// allowed transition from EVERY state the value may still hold at that
+// point — branch and switch conditions narrow the possible set.
+package fixture
+
+type phase int
+
+const (
+	phaseIdle  phase = iota //mspr:phase-next phaseBusy phaseEnded
+	phaseBusy               //mspr:phase-next phaseIdle phaseEnded
+	phaseEnded              //mspr:phase-next none
+)
+
+type sess struct {
+	phase phase
+}
+
+// begin guards the store: on the fall-through of the != check the value
+// is known phaseIdle, and idle -> busy is declared — clean.
+func (s *sess) begin() bool {
+	if s.phase != phaseIdle {
+		return false
+	}
+	s.phase = phaseBusy
+	return true
+}
+
+// finish stores idle with no guard: the value may be phaseEnded, and
+// ended is terminal.
+func (s *sess) finish() {
+	s.phase = phaseIdle // want "store of phaseIdle to a phase that may be phaseEnded"
+}
+
+// end is total: every state may legally move to phaseEnded — clean.
+func (s *sess) end() {
+	s.phase = phaseEnded
+}
+
+// switchStep narrows per arm: busy -> idle is declared, and the ended
+// arm stores nothing — clean.
+func (s *sess) switchStep() {
+	switch s.phase {
+	case phaseBusy:
+		s.phase = phaseIdle
+	case phaseEnded:
+		// terminal; leave it
+	}
+}
+
+// resurrect stores busy when the switch arm proves the value is ended.
+func (s *sess) resurrect() {
+	switch s.phase {
+	case phaseEnded:
+		s.phase = phaseBusy // want "store of phaseBusy to a phase that may be phaseEnded"
+	}
+}
+
+// eqGuard uses == with an else: the else path may hold idle or ended,
+// and ended -> idle is not declared.
+func (s *sess) eqGuard() {
+	if s.phase == phaseBusy {
+		s.phase = phaseIdle
+	} else {
+		s.phase = phaseIdle // want "store of phaseIdle to a phase that may be phaseEnded"
+	}
+}
+
+// callInvalidates: the guard's knowledge dies at a call (the callee may
+// store any phase), so the later store is checked against everything.
+func (s *sess) callInvalidates() {
+	if s.phase != phaseIdle {
+		return
+	}
+	s.mutate()
+	s.phase = phaseBusy // want "store of phaseBusy to a phase that may be phaseEnded"
+}
+
+func (s *sess) mutate() {
+	s.phase = phaseEnded
+}
+
+// testReset is a deliberate exception, documented in place.
+func (s *sess) testReset() {
+	s.phase = phaseIdle //mspr:phasestate fixture: test-only hard reset
+}

@@ -253,6 +253,8 @@ func (e *Endpoint) Addr() Addr { return e.addr }
 
 // Send transmits payload to addr. Delivery is asynchronous and, depending
 // on the network configuration, unreliable.
+//
+//mspr:blocking may stall on the simulated network's delivery machinery
 func (e *Endpoint) Send(to Addr, payload any) {
 	e.net.send(Message{From: e.addr, To: to, Payload: payload})
 }

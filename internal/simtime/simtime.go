@@ -26,6 +26,8 @@ const coarse = 2 * time.Millisecond
 
 // Sleep pauses the calling goroutine for d with microsecond-class
 // precision. Non-positive durations return immediately.
+//
+//mspr:blocking pauses the caller for the full duration
 func Sleep(d time.Duration) {
 	if d <= 0 {
 		return

@@ -201,21 +201,34 @@ type Log struct {
 	name   string
 	anchor *simdisk.File
 
-	mu         sync.Mutex
-	head       LSN        // records below head have been discarded
-	cond       *sync.Cond // broadcast when durable advances or batch state changes
-	buf        []byte     // volatile buffer: records appended since bufStart
-	bufStart   LSN        // LSN of buf[0]; always sector-aligned
-	nextLSN    LSN        // LSN the next Append will receive
-	durable    LSN        // exclusive durable frontier
-	pending    []byte     // region being written by an in-flight flush
-	pendStart  LSN        // LSN of pending[0]
-	spare      []byte     // retired append buffer, reused by the next Append
-	flushGen   int64      // increments when a flush completes
-	waiters    int        // Flush calls waiting on the durable frontier
-	closed     bool
-	flushErr   error
-	appendSeal bool // reject appends (used only by tests simulating a wedged log)
+	mu sync.Mutex
+	// head: records below it have been discarded.
+	head LSN //mspr:guarded-by mu
+	// cond broadcasts when durable advances or batch state changes.
+	cond *sync.Cond
+	// buf is the volatile buffer: records appended since bufStart.
+	buf []byte //mspr:guarded-by mu
+	// bufStart: LSN of buf[0]; always sector-aligned.
+	bufStart LSN //mspr:guarded-by mu
+	// nextLSN: the LSN the next Append will receive.
+	nextLSN LSN //mspr:guarded-by mu
+	// durable: exclusive durable frontier.
+	durable LSN //mspr:guarded-by mu
+	// pending: region being written by an in-flight flush.
+	pending []byte //mspr:guarded-by mu
+	// pendStart: LSN of pending[0].
+	pendStart LSN //mspr:guarded-by mu
+	// spare: retired append buffer, reused by the next Append.
+	spare []byte //mspr:guarded-by mu
+	// flushGen increments when a flush completes.
+	flushGen int64 //mspr:guarded-by mu
+	// waiters: Flush calls waiting on the durable frontier.
+	waiters int  //mspr:guarded-by mu
+	closed  bool //mspr:guarded-by mu
+	// flushErr records a sticky flush failure.
+	flushErr error //mspr:guarded-by mu
+	// appendSeal rejects appends (tests simulating a wedged log).
+	appendSeal bool //mspr:guarded-by mu
 
 	// flushReq wakes the persistent group-commit flusher (flusherLoop).
 	// Buffered with capacity 1: a send coalesces with an already-pending
@@ -223,22 +236,33 @@ type Log struct {
 	// and the loop exits on the closed flag).
 	flushReq chan struct{}
 
-	tornFrom int64 // LSN of a torn tail found by the last Scan (0 = none)
+	// tornFrom: LSN of a torn tail found by the last Scan (0 = none).
+	tornFrom int64 //mspr:guarded-by mu
 
-	flushMu sync.Mutex // serializes physical flushes and rotations
-	block   []byte     // flush scratch: the padded sector-aligned write block (guarded by flushMu)
+	// flushMu serializes physical flushes and rotations.
+	flushMu sync.Mutex
+	// block is flush scratch: the padded sector-aligned write block.
+	block []byte //mspr:guarded-by flushMu
 
-	segMu sync.RWMutex // guards segs and segment end fields
-	segs  []*segment   // ascending by index; the last one is active
+	// segMu guards segs and segment end fields.
+	segMu sync.RWMutex
+	// segs is ascending by index; the last one is active.
+	segs []*segment //mspr:guarded-by segMu
 
-	anchorMu   sync.Mutex // guards anchorSeq, lastAnchor and anchor-slot writes
-	anchorSeq  uint64     // sequence number of the newest valid anchor slot
-	lastAnchor Anchor     // the newest durable anchor (rotation re-persists it with a wider directory)
-	hasAnchor  bool       // lastAnchor is valid (an anchor was written or read)
+	// anchorMu guards the anchor bookkeeping and anchor-slot writes.
+	anchorMu sync.Mutex
+	// anchorSeq: sequence number of the newest valid anchor slot.
+	anchorSeq uint64 //mspr:guarded-by anchorMu
+	// lastAnchor: the newest durable anchor (rotation re-persists it
+	// with a wider directory).
+	lastAnchor Anchor //mspr:guarded-by anchorMu
+	// hasAnchor: lastAnchor is valid (an anchor was written or read).
+	hasAnchor bool //mspr:guarded-by anchorMu
 
-	readMu     sync.Mutex // guards the read-ahead cache
-	cache      map[cacheKey][]byte
-	cacheOrder []cacheKey // FIFO eviction order
+	// readMu guards the read-ahead cache.
+	readMu     sync.Mutex
+	cache      map[cacheKey][]byte //mspr:guarded-by readMu
+	cacheOrder []cacheKey          //mspr:guarded-by readMu
 }
 
 // readCacheBlocks bounds the read-ahead cache (per log). Parallel session
@@ -302,6 +326,8 @@ func readSegHeader(f *simdisk.File) (idx uint64, base LSN, ok bool) {
 // missing. After a crash, Open alone does not determine the durable
 // frontier precisely; the recovery scan (Scan) reports the last valid
 // record so the caller can learn the recovered state number.
+//
+//mspr:guardedby mount-time initialization: the Log is not yet published
 func Open(disk *simdisk.Disk, name string, cfg Config) (*Log, error) {
 	cfg = cfg.withDefaults()
 	l := &Log{
@@ -349,6 +375,8 @@ func Open(disk *simdisk.Disk, name string, cfg Config) (*Log, error) {
 
 // openSegments enumerates, validates and reconciles the segment files
 // against the anchor's segment directory (nil when no anchor exists).
+//
+//mspr:guardedby mount-time initialization: the Log is not yet published
 func (l *Log) openSegments(dir []dirEntry) error {
 	var segs []*segment
 	var broken []string // files with a torn or invalid header
@@ -508,6 +536,8 @@ func (l *Log) segAt(off int64) (segView, bool) {
 
 // Append adds a record to the volatile buffer and returns its LSN. The
 // record is not durable until a Flush covering its LSN completes.
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) Append(typ byte, payload []byte) (LSN, error) {
 	if typ == 0 {
 		return 0, errors.New("wal: record type 0 is reserved for padding")
@@ -581,6 +611,8 @@ func (l *Log) LastAppended() LSN {
 // enabled the request is handed to the persistent group-commit flusher so
 // concurrent requests share a single write; otherwise the flush is issued
 // immediately on the caller.
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) Flush(upTo LSN) error {
 	l.mu.Lock()
 	if upTo < l.durable {
@@ -848,6 +880,8 @@ func (l *Log) rotate(base LSN) error {
 // buffer are served from memory; durable records are read through the
 // 64 KB read-ahead cache (ascending replay reads therefore amortize to
 // one disk read per 128 sectors, as in §5.4).
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) ReadRecord(lsn LSN) (typ byte, payload []byte, err error) {
 	if lsn < headerSize {
 		return 0, nil, ErrNotFound
@@ -1015,6 +1049,8 @@ func parseFrame(b []byte) (typ byte, payload []byte, size int, err error) {
 // in a sealed segment (whose contents were all acknowledged durable
 // before the seal), acknowledged data was damaged in place and Scan
 // returns ErrCorrupt.
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) Scan(from LSN, fn func(lsn LSN, typ byte, payload []byte) error) (last LSN, err error) {
 	if from < headerSize {
 		from = headerSize
@@ -1138,6 +1174,8 @@ func (l *Log) probeValidAfter(off, end int64) (bool, error) {
 // The tear always lies in the final segment (Scan rejects sealed-segment
 // damage as ErrCorrupt), so the repair is a tail truncation of that
 // segment's file.
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) RepairTail() bool {
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
@@ -1254,6 +1292,8 @@ func parseAnchorSlot(buf []byte) (a Anchor, dir []dirEntry, seq uint64, ok bool)
 // segment directory, charging the slot write. The write goes to the
 // slot NOT holding the newest valid anchor, so the previous anchor
 // survives until the new one is fully on disk.
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) WriteAnchor(a Anchor) error {
 	l.anchorMu.Lock()
 	defer l.anchorMu.Unlock()
@@ -1262,6 +1302,8 @@ func (l *Log) WriteAnchor(a Anchor) error {
 
 // writeAnchorLocked is WriteAnchor's body; the caller holds anchorMu
 // (rotation calls it while already persisting the widened directory).
+//
+//mspr:holds anchorMu
 func (l *Log) writeAnchorLocked(a Anchor) error {
 	l.segMu.RLock()
 	dir := make([]dirEntry, len(l.segs))
@@ -1307,6 +1349,8 @@ func (l *Log) writeAnchorLocked(a Anchor) error {
 // checkpoint, which is always safe (the log below it was not yet
 // discarded — TruncateHead runs only after the anchor write succeeds,
 // and a rotation's anchor rewrite reuses the previous head unchanged).
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) ReadAnchor() (a Anchor, ok bool, err error) {
 	l.anchorMu.Lock()
 	defer l.anchorMu.Unlock()
@@ -1376,6 +1420,8 @@ func (l *Log) Head() LSN {
 // segments idempotently. The anchor's stored directory may briefly
 // list deleted segments; Open tolerates missing segments wholly below
 // the head, and the next anchor write persists the pruned directory.
+//
+//mspr:blocking performs (or waits on) disk I/O
 func (l *Log) TruncateHead(before LSN) error {
 	l.mu.Lock()
 	if before > l.durable {
