@@ -440,11 +440,28 @@ func main() {
 		"record the full client/server event history and run the correctness checkers over it")
 	breakDedup := flag.Bool("break-dedup", false,
 		"sabotage request deduplication at the front MSP (demonstrates the oracle catching a duplicate execution)")
+	overloadStorm := flag.Bool("overload", false,
+		"run the saturation storm instead: measure closed-loop capacity, flood open-loop at -overload-x times it with bursty Zipf-keyed arrivals, crash-restart mid-saturation, and oracle-check the history")
+	overloadX := flag.Float64("overload-x", 4, "offered load as a multiple of the measured closed-loop capacity")
+	overloadDur := flag.Duration("overload-duration", 2*time.Second, "wall-clock open-loop flood window")
+	overloadKeys := flag.Int("overload-keys", 16, "Zipf key-space size for the flood")
+	overloadBurst := flag.Int("overload-burst", 8, "arrivals per open-loop burst")
+	overloadCrashes := flag.Int("overload-crashes", 2, "crash-restarts fired during the flood")
+	overloadQueue := flag.Int("overload-queue", 512, "normal-lane admission queue capacity for the flooded server")
 	tracePath := flag.String("trace", "", "write the storm's replayable JSON trace to this file")
 	replayPath := flag.String("replay", "", "replay the fault schedule from this JSON trace instead of generating one")
 	minimize := flag.Bool("minimize", false,
 		"on failure, shrink the storm to a minimal failing trace (written to -trace, default storm-min.json)")
 	flag.Parse()
+
+	if *overloadStorm {
+		os.Exit(runOverloadStorm(overloadConfig{
+			seed: *seed, scale: *scale, loss: *loss, dup: *dup,
+			factor: *overloadX, duration: *overloadDur,
+			keys: *overloadKeys, burst: *overloadBurst,
+			crashes: *overloadCrashes, queueDepth: *overloadQueue,
+		}))
+	}
 
 	cfg := stormConfig{
 		actors: *actors, ops: *ops, seed: *seed,
@@ -541,6 +558,7 @@ func main() {
 	r := &metrics.Recovery
 	fmt.Printf("recovery: lazyReplays=%d sweepReplays=%d pendingSessions=%d pendingShared=%d\n",
 		r.LazyReplays.Load(), r.SweepReplays.Load(), r.PendingSessions.Load(), r.PendingShared.Load())
+	printOverloadMetrics()
 	if st.rec != nil {
 		fmt.Printf("oracle: %d events recorded\n", st.rec.Len())
 	}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"time"
+
+	"mspr/internal/metrics"
+	"mspr/internal/rpc"
+)
+
+// Admission control: the bounded two-lane gate between the network and
+// the worker pool. The paper assumes the server eventually gets to every
+// logged interaction; under saturation "eventually" needs defending.
+// The gate sheds excess work at enqueue time — before any durable
+// effect — with an explicit StatusOverloaded reply carrying a RetryAfter
+// hint, instead of the old silent counted drop that left the client
+// waiting out its resend timer.
+//
+// Two lanes, because a flood of new client work must not starve the
+// traffic recovery depends on: requests that touch sessions still owed
+// a replay since the last crash (instant recovery's lazy-replay claims)
+// and requests arriving while the server itself is still recovering go
+// to the small priority lane, which workers drain first. Everything
+// else is new work and rides the normal lane. Domain control traffic
+// (flush requests, recovery broadcasts, knowledge pulls) never queues
+// here at all — receiveLoop dispatches it to dedicated goroutines — so
+// the control plane is effectively a third, unbounded-by-this-gate lane.
+
+// Default admission-lane capacities (see Config.RequestQueueDepth and
+// Config.PriorityQueueDepth). Exported so harnesses that bound one lane
+// explicitly can compute the combined capacity ceiling.
+const (
+	DefaultRequestQueueDepth  = 4096
+	DefaultPriorityQueueDepth = 256
+)
+
+// Bounds on the RetryAfter hint attached to StatusOverloaded replies.
+const (
+	retryAfterMin = time.Millisecond
+	retryAfterMax = 2 * time.Second
+)
+
+// admit routes an incoming request into an admission lane or sheds it.
+// Shed points, in order: the propagated deadline (expired work is
+// dropped before it can occupy queue space), then lane capacity. Both
+// sheds answer immediately (best-effort) with StatusOverloaded so the
+// client's retry budget — not its resend timer — decides what happens
+// next.
+func (s *Server) admit(req rpc.Request) {
+	if s.shedIfExpired(req) {
+		return
+	}
+	if s.laneFor(req) == lanePriority {
+		select {
+		case s.prioCh <- req:
+			metrics.Overload.Admitted.Inc()
+			metrics.Overload.AdmittedPriority.Inc()
+			s.observeQueueDepth()
+			return
+		default:
+			// Priority lane full: recovery traffic may still ride the
+			// normal lane rather than being shed outright.
+		}
+	}
+	select {
+	case s.reqCh <- req:
+		metrics.Overload.Admitted.Inc()
+		s.observeQueueDepth()
+	default:
+		// Both lanes full: shed. RequestQueueDrops keeps counting what
+		// the pre-gate server counted (queue-full discards), but the
+		// client now learns immediately instead of timing out.
+		metrics.Net.RequestQueueDrops.Inc()
+		metrics.Overload.ShedAtAdmission.Inc()
+		s.replyOverloaded(req)
+	}
+}
+
+// admissionLane classifies a request's queue.
+type admissionLane int
+
+const (
+	laneNormal admissionLane = iota
+	lanePriority
+)
+
+// laneFor picks the admission lane: priority while the server is still
+// recovering (those requests resolve quickly — mostly to Busy — and
+// unblock clients), and for requests addressed to a session that still
+// owes a replay, whose first touch IS the lazy-replay claim instant
+// recovery depends on.
+func (s *Server) laneFor(req rpc.Request) admissionLane {
+	if s.getState() != stateRunning {
+		return lanePriority
+	}
+	if sess := s.sessions.get(req.Session); sess != nil && sess.pendingReplay() {
+		return lanePriority
+	}
+	return laneNormal
+}
+
+// shedIfExpired sheds a request whose propagated deadline has already
+// passed. Called at admission and again immediately before the receive
+// log append: a request shed here has had NO durable effect, so a shed
+// can never mint a logged execution the client never learns about (the
+// shedbeforelog vet analyzer pins the ordering statically).
+func (s *Server) shedIfExpired(req rpc.Request) bool {
+	if req.Deadline.IsZero() {
+		return false
+	}
+	if !time.Now().After(req.Deadline) { //mspr:wallclock deadlines bound real (scaled) work; see rpc.Request.Deadline
+		return false
+	}
+	metrics.Overload.ShedExpired.Inc()
+	s.replyOverloaded(req)
+	return true
+}
+
+// replyOverloaded answers a shed request, best-effort, with the current
+// RetryAfter hint.
+func (s *Server) replyOverloaded(req rpc.Request) {
+	s.stats.OverloadedReplies.Add(1)
+	s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq,
+		Status: rpc.StatusOverloaded, RetryAfter: s.retryAfterHint()})
+}
+
+// observeQueueDepth records the combined and priority backlogs on the
+// peak gauges at enqueue time.
+func (s *Server) observeQueueDepth() {
+	metrics.Overload.QueueDepthPeak.Observe(int64(len(s.reqCh) + len(s.prioCh)))
+	metrics.Overload.PriorityDepthPeak.Observe(int64(len(s.prioCh)))
+}
+
+// noteServiceTime folds one request's wall-clock service duration into
+// the exponentially weighted moving average the RetryAfter hint is
+// derived from (α = 1/8, the TCP RTT estimator's classic weight).
+func (s *Server) noteServiceTime(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := s.svcEWMA.Load()
+		nw := old + (int64(d)-old)/8
+		if old == 0 {
+			nw = int64(d) // first sample seeds the average
+		}
+		if s.svcEWMA.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterHint estimates when queue space frees up: the backlog ahead
+// of a newly shed request divided by the pool's drain rate, i.e.
+// backlog × (EWMA service time) / workers, clamped to sane wall-clock
+// bounds. With no samples yet it falls back to the minimum hint.
+func (s *Server) retryAfterHint() time.Duration {
+	ewma := time.Duration(s.svcEWMA.Load())
+	if ewma <= 0 {
+		return retryAfterMin
+	}
+	backlog := len(s.reqCh) + len(s.prioCh)
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	hint := ewma * time.Duration(backlog) / time.Duration(workers)
+	if hint < retryAfterMin {
+		hint = retryAfterMin
+	}
+	if hint > retryAfterMax {
+		hint = retryAfterMax
+	}
+	return hint
+}

@@ -22,18 +22,32 @@ type Client struct {
 
 	mu       sync.Mutex
 	sessions map[string]*ClientSession
+	ctl      map[string]targetControl
 	counter  int
 	stopped  bool
 	stop     chan struct{}
 }
 
+// targetControl is the client's shared overload-control state toward one
+// target server: all of this client's sessions to that server draw from
+// the same retry budget and trip the same circuit breaker, so a shedding
+// server throttles the whole client, not one session at a time — and
+// sheds from one server never open the breaker toward another.
+type targetControl struct {
+	budget  *rpc.RetryBudget
+	breaker *rpc.Breaker
+}
+
 // NewClient creates a client attached to the network at address id.
+// When opts carries a Budget or Breaker, they are treated as per-server
+// templates: each distinct target gets its own clone (see Session).
 func NewClient(id string, net *simnet.Network, opts rpc.CallOptions) *Client {
 	c := &Client{
 		id:       id,
 		ep:       net.Endpoint(simnet.Addr(id)),
 		opts:     opts,
 		sessions: make(map[string]*ClientSession),
+		ctl:      make(map[string]targetControl),
 		stop:     make(chan struct{}),
 	}
 	go c.dispatch()
@@ -71,14 +85,30 @@ func (c *Client) dispatch() {
 }
 
 // Session starts a new session with the MSP at target. Each Session call
-// creates a distinct session.
+// creates a distinct session. The session's call options are the
+// client's, with the Budget and Breaker (if configured) replaced by the
+// per-target instances shared across this client's sessions to target.
 func (c *Client) Session(target string) *ClientSession {
 	c.mu.Lock()
 	c.counter++
+	opts := c.opts
+	tc, ok := c.ctl[target]
+	if !ok {
+		if c.opts.Budget != nil {
+			tc.budget = c.opts.Budget.Clone()
+		}
+		if c.opts.Breaker != nil {
+			tc.breaker = c.opts.Breaker.Clone()
+		}
+		c.ctl[target] = tc
+	}
+	opts.Budget = tc.budget
+	opts.Breaker = tc.breaker
 	cs := &ClientSession{
 		id:      fmt.Sprintf("%s#%d", c.id, c.counter),
 		target:  target,
 		client:  c,
+		opts:    opts,
 		nextSeq: 1,
 		replies: make(chan rpc.Reply, 16),
 	}
@@ -104,6 +134,7 @@ type ClientSession struct {
 	id      string
 	target  string
 	client  *Client
+	opts    rpc.CallOptions
 	nextSeq uint64
 	replies chan rpc.Reply
 	ended   bool
@@ -137,8 +168,13 @@ func (cs *ClientSession) Call(method string, arg []byte) ([]byte, error) {
 			tap.ClientRetry(cs.id, seq, attempts)
 		}
 		cs.client.ep.Send(simnet.Addr(cs.target), r) //mspr:flushed-by none (client request: end clients have no log and carry no recoverable state)
-	}, cs.replies, req, cs.client.opts)
+	}, cs.replies, req, cs.opts)
 	if err != nil && !isTerminal(err) {
+		// Non-terminal includes the overload-control outcomes
+		// (ErrOverloaded, ErrCircuitOpen, ErrDeadlineExceeded): the
+		// request may still execute server-side, so the sequence number
+		// must not advance — a later Call resends the identical request
+		// or fetches the buffered reply via the duplicate path.
 		return nil, err
 	}
 	if tap != nil {
@@ -167,7 +203,7 @@ func (cs *ClientSession) End() error {
 	}
 	_, err := rpc.Call(func(r rpc.Request) {
 		cs.client.ep.Send(simnet.Addr(cs.target), r) //mspr:flushed-by none (client request: end clients have no log and carry no recoverable state)
-	}, cs.replies, req, cs.client.opts)
+	}, cs.replies, req, cs.opts)
 	cs.ended = true
 	cs.client.mu.Lock()
 	delete(cs.client.sessions, cs.id)

@@ -130,6 +130,20 @@ type Config struct {
 	// otherwise fast-failing flush call. Zero selects the 100 ms
 	// default.
 	PeerProbeEvery time.Duration
+	// RequestQueueDepth bounds the normal admission lane: new client work
+	// beyond this backlog is shed at enqueue time with StatusOverloaded
+	// and a RetryAfter hint instead of waiting out the client's resend
+	// timer. Zero selects the 4096 default (the pre-admission-gate queue
+	// capacity).
+	RequestQueueDepth int
+	// PriorityQueueDepth bounds the priority admission lane reserved for
+	// recovery-critical traffic: lazy-replay claims (requests touching
+	// sessions not yet replayed since a crash) and requests arriving
+	// while the server is still recovering. Workers drain this lane
+	// first, so pending-replay work keeps making progress under a
+	// saturation flood. A full priority lane falls back to the normal
+	// lane before shedding. Zero selects the 256 default.
+	PriorityQueueDepth int
 	// StatelessSessions makes the server accept any request sequence on
 	// any session, creating sessions on demand and executing every
 	// delivery. It is for services that deduplicate at a lower layer —

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mspr/internal/metrics"
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+	"mspr/internal/wal"
+)
+
+// blockDef is a service whose "block" method parks on gate until
+// released, so tests can hold the worker pool busy deterministically.
+// entered receives one value per handler entry.
+func blockDef(gate chan struct{}, entered chan struct{}) Definition {
+	d := counterDef()
+	d.Methods["block"] = func(ctx *Ctx, arg []byte) ([]byte, error) {
+		entered <- struct{}{}
+		<-gate
+		return nil, nil
+	}
+	return d
+}
+
+// rawReply waits for the reply matching (session, seq) on a raw
+// endpoint, skipping others.
+func rawReply(t *testing.T, ep *simnet.Endpoint, session string, seq uint64, timeout time.Duration) rpc.Reply {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case m := <-ep.Recv():
+			if rep, ok := m.Payload.(rpc.Reply); ok && rep.Session == session && rep.Seq == seq {
+				return rep
+			}
+		case <-deadline:
+			t.Fatalf("no reply for %s/%d within %v", session, seq, timeout)
+		}
+	}
+}
+
+// TestQueueOverflowRepliesOverloaded is the regression test for the
+// silent request-queue drop: a request arriving at a full admission
+// queue must be answered immediately with StatusOverloaded (carrying a
+// RetryAfter hint) AND still count on RequestQueueDrops.
+func TestQueueOverflowRepliesOverloaded(t *testing.T) {
+	e := newTestEnv(t)
+	defer e.cleanup()
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	srv := e.start("msp1", blockDef(gate, entered), func(c *Config) {
+		c.Workers = 1
+		c.RequestQueueDepth = 2
+		c.PriorityQueueDepth = 1
+	})
+	_ = srv
+
+	raw := e.net.Endpoint("raw")
+	send := func(session string, seq uint64) {
+		raw.Send("msp1", rpc.Request{Session: session, Seq: seq, Method: "block",
+			NewSession: seq == 1, From: raw.Addr()})
+	}
+
+	drops0 := metrics.Net.RequestQueueDrops.Load()
+	shed0 := metrics.Overload.ShedAtAdmission.Load()
+	admitted0 := metrics.Overload.Admitted.Load()
+
+	// Occupy the lone worker, then fill the 2-deep normal lane.
+	send("ovl-a", 1)
+	<-entered
+	send("ovl-b", 1)
+	send("ovl-c", 1)
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		for i := 0; i < 2000; i++ {
+			if cond() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitFor(func() bool { return metrics.Overload.Admitted.Load()-admitted0 >= 3 }, "three admissions")
+
+	// The fourth request finds both the worker and the queue full: shed.
+	send("ovl-d", 1)
+	rep := rawReply(t, raw, "ovl-d", 1, 5*time.Second)
+	if rep.Status != rpc.StatusOverloaded {
+		t.Fatalf("overflow reply status = %v; want Overloaded", rep.Status)
+	}
+	if rep.RetryAfter <= 0 {
+		t.Fatalf("overflow reply RetryAfter = %v; want a positive hint", rep.RetryAfter)
+	}
+	if got := metrics.Net.RequestQueueDrops.Load() - drops0; got < 1 {
+		t.Fatalf("RequestQueueDrops delta = %d; want >= 1", got)
+	}
+	if got := metrics.Overload.ShedAtAdmission.Load() - shed0; got < 1 {
+		t.Fatalf("ShedAtAdmission delta = %d; want >= 1", got)
+	}
+	close(gate) // release the parked handlers before cleanup
+}
+
+// TestExpiredDeadlineShedsBeforeAppend pins the tentpole's durability
+// rule: a request whose deadline expired while queued is shed at the
+// pre-append check — StatusOverloaded, ShedExpired counted, and NOT one
+// byte of log growth — and a later resend under the same sequence
+// number executes exactly once.
+func TestExpiredDeadlineShedsBeforeAppend(t *testing.T) {
+	e := newTestEnv(t)
+	defer e.cleanup()
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	srv := e.start("msp1", blockDef(gate, entered), func(c *Config) {
+		c.Workers = 1
+	})
+
+	raw := e.net.Endpoint("raw")
+	// Establish session "b" with a normal call so the expiring request
+	// needs no SessionStart append of its own.
+	raw.Send("msp1", rpc.Request{Session: "b", Seq: 1, Method: "inc", NewSession: true, From: raw.Addr()})
+	if rep := rawReply(t, raw, "b", 1, 5*time.Second); rep.Status != rpc.StatusOK {
+		t.Fatalf("setup call status = %v", rep.Status)
+	}
+
+	// Park the lone worker, then queue the deadline-carrying request
+	// behind it.
+	raw.Send("msp1", rpc.Request{Session: "a", Seq: 1, Method: "block", NewSession: true, From: raw.Addr()})
+	<-entered
+	lsn0 := srv.Log().Next()
+	shed0 := metrics.Overload.ShedExpired.Load()
+	raw.Send("msp1", rpc.Request{Session: "b", Seq: 2, Method: "inc", From: raw.Addr(),
+		Deadline: time.Now().Add(30 * time.Millisecond)})
+	time.Sleep(60 * time.Millisecond) // let the deadline expire in the queue
+	close(gate)                       // release the worker; it meets the expired request
+
+	rep := rawReply(t, raw, "b", 2, 5*time.Second)
+	if rep.Status != rpc.StatusOverloaded {
+		t.Fatalf("expired request reply = %v; want Overloaded", rep.Status)
+	}
+	if got := metrics.Overload.ShedExpired.Load() - shed0; got != 1 {
+		t.Fatalf("ShedExpired delta = %d; want 1", got)
+	}
+	// Not one RECORD was appended on the shed request's behalf (reply
+	// flushes may still pad the log to a sector boundary, so Next() can
+	// move; records cannot appear).
+	records := 0
+	if _, err := srv.Log().Scan(lsn0, func(lsn wal.LSN, typ byte, payload []byte) error {
+		records++
+		return nil
+	}); err != nil {
+		t.Fatalf("scanning from %d: %v", lsn0, err)
+	}
+	if records != 0 {
+		t.Fatalf("%d records appended across an expired-deadline shed; a shed must precede any append", records)
+	}
+
+	// The shed request did not execute and did not burn the sequence
+	// number: resending b/2 without a deadline executes exactly once.
+	raw.Send("msp1", rpc.Request{Session: "b", Seq: 2, Method: "inc", From: raw.Addr()})
+	rep = rawReply(t, raw, "b", 2, 5*time.Second)
+	if rep.Status != rpc.StatusOK || asU64(rep.Payload) != 2 {
+		t.Fatalf("resend after shed: status %v payload %d; want OK 2", rep.Status, asU64(rep.Payload))
+	}
+}
+
+// TestAdmissionShedsExpiredDeadline covers the first shed point: a
+// request already expired on arrival never reaches the queue.
+func TestAdmissionShedsExpiredDeadline(t *testing.T) {
+	e := newTestEnv(t)
+	defer e.cleanup()
+	srv := e.start("msp1", counterDef())
+	raw := e.net.Endpoint("raw")
+	lsn0 := srv.Log().Next()
+	shed0 := metrics.Overload.ShedExpired.Load()
+	raw.Send("msp1", rpc.Request{Session: "x", Seq: 1, Method: "inc", NewSession: true,
+		From: raw.Addr(), Deadline: time.Now().Add(-time.Second)})
+	rep := rawReply(t, raw, "x", 1, 5*time.Second)
+	if rep.Status != rpc.StatusOverloaded {
+		t.Fatalf("expired-on-arrival reply = %v; want Overloaded", rep.Status)
+	}
+	if got := metrics.Overload.ShedExpired.Load() - shed0; got != 1 {
+		t.Fatalf("ShedExpired delta = %d; want 1", got)
+	}
+	if lsn := srv.Log().Next(); lsn != lsn0 {
+		t.Fatal("an admission-time shed must not touch the log")
+	}
+}
+
+// TestPriorityLaneCarriesReplayClaims: after a crash-restart, a request
+// touching a not-yet-replayed session rides the priority lane.
+func TestPriorityLaneCarriesReplayClaims(t *testing.T) {
+	e := newTestEnv(t)
+	defer e.cleanup()
+	e.start("msp1", counterDef(), func(c *Config) { c.NoRecoverySweep = true })
+	cs := e.endClient().Session("msp1")
+	for i := 0; i < 3; i++ {
+		mustCall(t, cs, "inc", nil)
+	}
+	e.restart("msp1")
+
+	prio0 := metrics.Overload.AdmittedPriority.Load()
+	if got := asU64(mustCall(t, cs, "inc", nil)); got != 4 {
+		t.Fatalf("post-restart inc = %d; want 4", got)
+	}
+	if got := metrics.Overload.AdmittedPriority.Load() - prio0; got < 1 {
+		t.Fatalf("AdmittedPriority delta = %d; want >= 1 (the lazy-replay claim)", got)
+	}
+}
+
+// TestRetryAfterHintScalesWithBacklog exercises the hint arithmetic on a
+// bare server: more backlog, larger hint, clamped at both ends.
+func TestRetryAfterHintScalesWithBacklog(t *testing.T) {
+	s := &Server{
+		cfg:    Config{Workers: 4},
+		reqCh:  make(chan rpc.Request, 256),
+		prioCh: make(chan rpc.Request, 8),
+	}
+	if got := s.retryAfterHint(); got != retryAfterMin {
+		t.Fatalf("hint with no samples = %v; want the %v floor", got, retryAfterMin)
+	}
+	s.noteServiceTime(20 * time.Millisecond) // first sample seeds the EWMA
+	small := s.retryAfterHint()              // empty queue: floor
+	if small != retryAfterMin {
+		t.Fatalf("hint with empty queue = %v; want %v", small, retryAfterMin)
+	}
+	for i := 0; i < 10; i++ {
+		s.reqCh <- rpc.Request{}
+	}
+	mid := s.retryAfterHint() // 20ms * 10 / 4 = 50ms
+	if mid <= small {
+		t.Fatalf("hint did not grow with backlog: %v then %v", small, mid)
+	}
+	for i := 0; i < 246; i++ {
+		s.reqCh <- rpc.Request{}
+	}
+	large := s.retryAfterHint() // 20ms * 256 / 4 = 1.28s
+	if large <= mid {
+		t.Fatalf("hint did not keep growing: %v then %v", mid, large)
+	}
+	s.noteServiceTime(time.Hour) // absurd sample: the cap must hold
+	s.noteServiceTime(time.Hour)
+	if got := s.retryAfterHint(); got > retryAfterMax {
+		t.Fatalf("hint %v exceeds the %v cap", got, retryAfterMax)
+	}
+}
+
+// TestClientPerTargetOverloadControl: sessions toward one target share a
+// budget and breaker; a different target gets its own.
+func TestClientPerTargetOverloadControl(t *testing.T) {
+	net := simnet.New(simnet.Config{TimeScale: 0})
+	opts := rpc.DefaultCallOptions(0)
+	opts.Budget = rpc.NewRetryBudget(10, 0.1)
+	opts.Breaker = rpc.NewBreaker(5, 50*time.Millisecond)
+	c := NewClient("c", net, opts)
+	defer c.Close()
+	s1, s2, s3 := c.Session("a"), c.Session("a"), c.Session("b")
+	if s1.opts.Breaker == nil || s1.opts.Budget == nil {
+		t.Fatal("sessions must carry the per-target overload control")
+	}
+	if s1.opts.Breaker != s2.opts.Breaker || s1.opts.Budget != s2.opts.Budget {
+		t.Fatal("sessions toward one target must share breaker and budget")
+	}
+	if s1.opts.Breaker == s3.opts.Breaker || s1.opts.Budget == s3.opts.Budget {
+		t.Fatal("a different target must get its own breaker and budget")
+	}
+	if s1.opts.Breaker == opts.Breaker {
+		t.Fatal("the configured breaker is a template; targets must get clones")
+	}
+}

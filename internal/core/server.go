@@ -128,9 +128,18 @@ type Server struct {
 	sessions sessionTable
 	shared   map[string]*SharedVar
 
-	reqCh chan rpc.Request
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	// Admission lanes (see admission.go): reqCh is the bounded normal
+	// lane for new client work, prioCh the small priority lane for
+	// recovery-critical traffic. Workers drain prioCh first.
+	reqCh  chan rpc.Request
+	prioCh chan rpc.Request
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// svcEWMA is the exponentially weighted moving average of wall-clock
+	// request service time, in nanoseconds — the drain-rate estimate the
+	// RetryAfter hint on shed replies is derived from.
+	svcEWMA atomic.Int64
 
 	pending pendingCalls
 
@@ -167,6 +176,9 @@ type ServerStats struct {
 	SVRollbacks      atomic.Int64
 	DistFlushes      atomic.Int64
 	BusyReplies      atomic.Int64
+	// OverloadedReplies counts requests shed with StatusOverloaded —
+	// admission-queue overflow plus expired-deadline sheds.
+	OverloadedReplies atomic.Int64
 }
 
 // Start creates and starts an MSP. If the configured disk holds a log
@@ -198,11 +210,18 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.PeerProbeEvery <= 0 {
 		cfg.PeerProbeEvery = 100 * time.Millisecond
 	}
+	if cfg.RequestQueueDepth <= 0 {
+		cfg.RequestQueueDepth = DefaultRequestQueueDepth
+	}
+	if cfg.PriorityQueueDepth <= 0 {
+		cfg.PriorityQueueDepth = DefaultPriorityQueueDepth
+	}
 	s := &Server{
 		cfg:    cfg,
 		know:   dv.NewKnowledge(),
 		shared: make(map[string]*SharedVar),
-		reqCh:  make(chan rpc.Request, 4096),
+		reqCh:  make(chan rpc.Request, cfg.RequestQueueDepth),
+		prioCh: make(chan rpc.Request, cfg.PriorityQueueDepth),
 		stop:   make(chan struct{}),
 	}
 	s.state.Store(int32(stateRecovering))
@@ -544,12 +563,7 @@ func (s *Server) receiveLoop() {
 			s.noteContact(m.From)
 			switch p := m.Payload.(type) {
 			case rpc.Request:
-				select {
-				case s.reqCh <- p:
-				default:
-					// Request queue overflow: drop; the client resends.
-					metrics.Net.RequestQueueDrops.Inc()
-				}
+				s.admit(p)
 			case rpc.Reply:
 				s.pending.resolve(p)
 			case rpc.FlushRequest:
@@ -575,9 +589,22 @@ func (s *Server) receiveLoop() {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
+		// Drain the priority lane first: lazy-replay claims and
+		// recovery-window traffic must not starve behind a flood of new
+		// work filling the normal lane.
 		select {
 		case <-s.stop:
 			return
+		case req := <-s.prioCh:
+			s.handleRequest(req)
+			continue
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.prioCh:
+			s.handleRequest(req)
 		case req := <-s.reqCh:
 			s.handleRequest(req)
 		}
@@ -587,6 +614,7 @@ func (s *Server) worker() {
 // reply sends a reply envelope to addr.
 func (s *Server) reply(addr simnet.Addr, rep rpc.Reply) {
 	if s.ttfrPending.Load() && rep.Status != rpc.StatusBusy && rep.Status != rpc.StatusRejected &&
+		rep.Status != rpc.StatusOverloaded &&
 		s.ttfrPending.CompareAndSwap(true, false) {
 		// First state-bearing reply since crash recovery began: the
 		// instant-recovery time-to-first-reply measurement.
@@ -651,6 +679,10 @@ func (s *Server) handleRequest(req rpc.Request) {
 // (Fig. 7's receive-execute-reply body plus checkpoint scheduling).
 func (s *Server) serveAcquired(sess *Session, req rpc.Request) {
 	defer sess.release()
+	t0 := time.Now() //mspr:wallclock service-time EWMA feeds the wall-clock RetryAfter hint
+	defer func() {
+		s.noteServiceTime(time.Since(t0)) //mspr:wallclock service-time EWMA feeds the wall-clock RetryAfter hint
+	}()
 
 	classification := sess.seq.Classify(req.Seq)
 	if s.cfg.StatelessSessions {
@@ -677,6 +709,16 @@ func (s *Server) serveAcquired(sess *Session, req rpc.Request) {
 				s.replyBusy(req)
 			}
 		}
+		return
+	}
+
+	// Second deadline shed point, immediately before the receive append:
+	// queueing delay may have eaten the deadline since admission, and a
+	// shed must precede any durable effect — an execution logged for a
+	// client that already gave up wastes a flush now and a replay after
+	// the next crash. (Duplicates are exempt above: answering from the
+	// reply buffer costs no append.)
+	if s.shedIfExpired(req) {
 		return
 	}
 
@@ -743,7 +785,7 @@ func (s *Server) serveAcquired(sess *Session, req rpc.Request) {
 		// the flush deadline): degrade to Busy. The request executed and
 		// its reply is buffered; the client's resend fetches it through
 		// the duplicate path once the peer is reachable again.
-		s.replyBusy(req)
+		s.replyBusy(req) //mspr:shedbeforelog not a shed: the request executed and its reply is buffered; Busy only defers delivery to the dedup resend
 		return
 	}
 	s.stats.RequestsServed.Add(1)
@@ -808,7 +850,7 @@ func (s *Server) finishEndSession(sess *Session, req rpc.Request) {
 		// Unreachable dependency: the end acknowledgement could not be
 		// flushed. Keep the session; the client's resend completes the
 		// end once the peer is back.
-		s.replyBusy(req)
+		s.replyBusy(req) //mspr:shedbeforelog not a shed: the end executed and its reply is buffered; Busy only defers delivery to the dedup resend
 	}
 }
 

@@ -22,6 +22,7 @@
 //	//mspr:lockorder <reason>       exempt a lock-ordering site
 //	//mspr:guardedby <reason>       exempt an unguarded field access
 //	//mspr:phasestate <reason>      exempt a phase-constant store
+//	//mspr:shedbeforelog <reason>   exempt a Busy/Overloaded reply after an append
 //
 // A second directive family DECLARES the concurrency model the
 // flow-sensitive analyzers check against (see annotations.go):
@@ -76,6 +77,7 @@ func All() []*Analyzer {
 		LockOrder,
 		GuardedBy,
 		PhaseState,
+		ShedBeforeLog,
 	}
 }
 
@@ -225,6 +227,7 @@ var knownVerbs = map[string]bool{
 	"lockorder":      true,
 	"guardedby":      true,
 	"phasestate":     true,
+	"shedbeforelog":  true,
 	"guarded-by":     true,
 	"lock-level":     true,
 	"blocking":       true,

@@ -92,6 +92,7 @@ func TestWALErrFixture(t *testing.T)          { runFixture(t, "walerr", WALErr) 
 func TestLockOrderFixture(t *testing.T)       { runFixture(t, "lockorder", LockOrder) }
 func TestGuardedByFixture(t *testing.T)       { runFixture(t, "guardedby", GuardedBy) }
 func TestPhaseStateFixture(t *testing.T)      { runFixture(t, "phasestate", PhaseState) }
+func TestShedBeforeLogFixture(t *testing.T)   { runFixture(t, "shedbeforelog", ShedBeforeLog) }
 
 // TestDirectivesFixture runs no analyzers at all: the malformed-directive
 // findings come from the always-on hygiene pass.
@@ -129,6 +130,7 @@ var fixtureFor = map[string]string{
 	"lockorder":      "lockorder",
 	"guardedby":      "guardedby",
 	"phasestate":     "phasestate",
+	"shedbeforelog":  "shedbeforelog",
 }
 
 // TestEveryAnalyzerHasCaughtAndSuppressedCases is the fixture-coverage

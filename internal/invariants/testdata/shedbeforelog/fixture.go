@@ -1,0 +1,103 @@
+// Package fixture exercises the path-sensitive shedbeforelog analyzer:
+// no Busy/Overloaded shed reply may be reachable after a log append in
+// the same function — once the receive is durable, recovery replays the
+// work, so "overloaded, nothing happened" would be a lie. The analyzer
+// is a may-analysis: one branch that appends before the shed is a
+// finding even when the common path sheds first.
+package fixture
+
+import (
+	"mspr/internal/rpc"
+	"mspr/internal/simnet"
+	"mspr/internal/wal"
+)
+
+type srv struct {
+	log *wal.Log
+	ep  *simnet.Endpoint
+}
+
+func (s *srv) reply(to simnet.Addr, rep rpc.Reply) {
+	s.ep.Send(to, rep)
+}
+
+// shedThenAppend is the clean ordering: the overloaded path answers and
+// returns before anything becomes durable.
+func (s *srv) shedThenAppend(req rpc.Request, full bool) {
+	if full {
+		s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq,
+			Status: rpc.StatusOverloaded})
+		return
+	}
+	_, _ = s.log.Append(1, req.Arg)
+}
+
+// appendThenShed sheds after the receive append: the straight-line
+// violation.
+func (s *srv) appendThenShed(req rpc.Request) {
+	_, _ = s.log.Append(1, req.Arg)
+	s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq, // want "follows a log append"
+		Status: rpc.StatusBusy})
+}
+
+// appendMaybeThenShed appends on only one branch; the shed at the join
+// is still a finding — SOME path reaches it with durable state behind
+// it, which is exactly the window a lexical pass would bless.
+func (s *srv) appendMaybeThenShed(req rpc.Request, logged bool) {
+	if logged {
+		_, _ = s.log.Append(1, req.Arg)
+	}
+	s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq, // want "follows a log append"
+		Status: rpc.StatusOverloaded})
+}
+
+// shedEachBranch sheds first on every path that also appends: clean.
+func (s *srv) shedEachBranch(req rpc.Request, full bool) {
+	if full {
+		s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq,
+			Status: rpc.StatusOverloaded})
+		return
+	}
+	_, _ = s.log.Append(1, req.Arg)
+	s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq,
+		Status: rpc.StatusOK, Payload: req.Arg})
+}
+
+// deferredAppendThenShed defers the append: defers run at exit, after
+// every shed in the body, so the Busy reply precedes the durable effect
+// — clean.
+func (s *srv) deferredAppendThenShed(req rpc.Request) {
+	defer s.log.Append(1, req.Arg)
+	s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq,
+		Status: rpc.StatusBusy})
+}
+
+// bufferedReplyBusy is the documented exception: the request DID execute
+// and its reply is buffered; Busy only defers delivery to the duplicate
+// resend, so the append behind it is the truth, not a lie.
+func (s *srv) bufferedReplyBusy(req rpc.Request) {
+	_, _ = s.log.Append(1, req.Arg)
+	s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq, //mspr:shedbeforelog fixture: the request executed and its reply is buffered; Busy only defers delivery
+		Status: rpc.StatusBusy})
+}
+
+// statusReadIsNotAShed compares against the constants without emitting
+// them: reads of an outcome are not shed sites — clean.
+func (s *srv) statusReadIsNotAShed(req rpc.Request, rep rpc.Reply) bool {
+	_, _ = s.log.Append(1, req.Arg)
+	return rep.Status == rpc.StatusBusy || rep.Status == rpc.StatusOverloaded
+}
+
+// shedInLoopAfterAppend: the back edge carries the appended fact into
+// the next iteration's shed — a retry loop that appends then sheds on a
+// later pass is still a violation.
+func (s *srv) shedInLoopAfterAppend(req rpc.Request, tries int) {
+	for i := 0; i < tries; i++ {
+		if i > 0 {
+			s.reply(req.From, rpc.Reply{Session: req.Session, Seq: req.Seq, // want "follows a log append"
+				Status: rpc.StatusOverloaded})
+			return
+		}
+		_, _ = s.log.Append(1, req.Arg)
+	}
+}

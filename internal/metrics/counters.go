@@ -187,3 +187,41 @@ type WalCounters struct {
 
 // Wal holds the process-wide log-layer counters.
 var Wal WalCounters
+
+// OverloadCounters is the observability surface of the overload-control
+// plane: what the admission gate accepted and shed, how deep the queues
+// ran, and how the client-side retry budgets and circuit breakers
+// reacted. The counters are process-wide totals; storms print them in
+// the chaos summary and tests snapshot before/after deltas.
+type OverloadCounters struct {
+	// Admitted counts requests accepted into an admission lane (either
+	// lane; AdmittedPriority is the priority-lane subset).
+	Admitted Counter
+	// AdmittedPriority counts requests admitted into the priority lane:
+	// lazy-replay claims and traffic addressed to a still-recovering
+	// server, which must not starve behind the new-work flood.
+	AdmittedPriority Counter
+	// ShedAtAdmission counts requests shed with StatusOverloaded because
+	// both admission lanes were full at enqueue time.
+	ShedAtAdmission Counter
+	// ShedExpired counts requests shed because their propagated deadline
+	// had already passed — at admission or at the pre-append check —
+	// before any durable effect was taken on their behalf.
+	ShedExpired Counter
+	// RetryBudgetExhausted counts calls that gave up because the client's
+	// token-bucket retry budget was empty when a shed asked for a resend.
+	RetryBudgetExhausted Counter
+	// BreakerOpens counts closed→open (and half-open→open) transitions of
+	// client-side circuit breakers.
+	BreakerOpens Counter
+	// QueueDepthPeak is the deepest combined admission-queue backlog
+	// (normal + priority lane) any server observed at enqueue time — the
+	// bounded-queue headline number: it can never exceed the configured
+	// lane capacities however hard the flood runs.
+	QueueDepthPeak MaxGauge
+	// PriorityDepthPeak is the deepest priority-lane backlog observed.
+	PriorityDepthPeak MaxGauge
+}
+
+// Overload holds the process-wide overload-control counters.
+var Overload OverloadCounters

@@ -1,0 +1,208 @@
+package rpc
+
+import (
+	"sync"
+	"time"
+
+	"mspr/internal/metrics"
+)
+
+// Client-side overload control: the retry budget and the per-server
+// circuit breaker that Call consults through CallOptions. Both exist to
+// turn a saturated server's shed replies into *less* offered load
+// instead of more — the unbounded Busy-resend loop the paper's §5.4
+// client uses is correct for transient recovery pauses but amplifies a
+// genuine overload (every shed mints a future resend), so budgeted
+// retries and breaker-metered probing replace it whenever a harness
+// opts in.
+
+// RetryBudget is a token bucket bounding shed-triggered resends. Every
+// Busy/Overloaded retry spends one token; every terminal outcome (OK,
+// application error, rejection) earns a fraction of a token back, so
+// the sustainable retry rate is proportional to the success rate rather
+// than to the offered load. The bucket starts full. Safe for concurrent
+// use; share one per client↔server pair.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	earn   float64
+}
+
+// NewRetryBudget returns a full bucket holding max tokens that earns
+// earnPerSuccess tokens back per terminal outcome (capped at max).
+// A typical shape is NewRetryBudget(10, 0.1): bursts of up to ten
+// retries, sustained at one retry per ten successes.
+func NewRetryBudget(max, earnPerSuccess float64) *RetryBudget {
+	return &RetryBudget{tokens: max, max: max, earn: earnPerSuccess}
+}
+
+// Spend takes one token for a retry, reporting false (and counting the
+// exhaustion) when less than a whole token remains.
+func (b *RetryBudget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		metrics.Overload.RetryBudgetExhausted.Inc()
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Earn credits the per-success fraction back into the bucket.
+func (b *RetryBudget) Earn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.earn
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Clone returns a fresh, full bucket with the same parameters — how
+// core.Client derives a per-server budget from a configured template.
+func (b *RetryBudget) Clone() *RetryBudget {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return NewRetryBudget(b.max, b.earn)
+}
+
+// Tokens returns the current balance (for tests and reports).
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed passes all traffic; consecutive sheds are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails all calls fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe call through; its outcome
+	// closes the breaker again or re-opens it for another cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-server circuit breaker. It opens after Threshold
+// consecutive sheds (Busy/Overloaded replies), fails calls fast for a
+// wall-clock Cooldown, then half-opens: one probe call is admitted, and
+// its outcome decides between closing and re-opening. Safe for
+// concurrent use; share one per target server.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	sheds     int // consecutive sheds while closed
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive sheds and half-opens cooldown (wall-clock) later. The
+// cooldown is wall-clock for the same reason deadlines are: it meters
+// real retry work, which the simulation realizes as scaled wall time.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 50 * time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Clone returns a fresh, closed breaker with the same parameters — how
+// core.Client derives a per-server breaker from a configured template.
+func (b *Breaker) Clone() *Breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return NewBreaker(b.threshold, b.cooldown)
+}
+
+// Allow reports whether a call may be sent now. While open it returns
+// false until the cooldown elapses, then transitions to half-open and
+// admits a single probe; further calls fail fast until that probe
+// settles through Success or Shed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown { //mspr:wallclock breaker cooldown meters real retry work, like RetryAfter hints
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a terminal outcome: the breaker closes and the shed
+// streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.sheds = 0
+	b.probing = false
+}
+
+// Shed records a Busy/Overloaded reply. In the closed state it counts
+// toward the threshold; a shed probe re-opens the breaker for another
+// cooldown.
+func (b *Breaker) Shed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.sheds++
+		if b.sheds >= b.threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	}
+}
+
+// open transitions to the open state; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = time.Now() //mspr:wallclock breaker cooldown meters real retry work, like RetryAfter hints
+	b.sheds = 0
+	b.probing = false
+	metrics.Overload.BreakerOpens.Inc()
+}
+
+// State returns the breaker's current position (for tests and reports).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

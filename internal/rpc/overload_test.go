@@ -1,0 +1,233 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryBudgetSpendAndEarn(t *testing.T) {
+	b := NewRetryBudget(2, 0.5)
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("a full bucket of 2 must cover two retries")
+	}
+	if b.Spend() {
+		t.Fatal("third retry must fail on an empty bucket")
+	}
+	b.Earn()
+	if b.Spend() {
+		t.Fatal("half a token must not cover a retry")
+	}
+	b.Earn()
+	if !b.Spend() {
+		t.Fatal("two earns (0.5 each) must restore one retry")
+	}
+	for i := 0; i < 100; i++ {
+		b.Earn()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("earning past the cap left %v tokens; want the max of 2", got)
+	}
+}
+
+func TestRetryBudgetClone(t *testing.T) {
+	b := NewRetryBudget(1, 0.1)
+	if !b.Spend() || b.Spend() {
+		t.Fatal("setup: bucket must be empty now")
+	}
+	c := b.Clone()
+	if !c.Spend() {
+		t.Fatal("a clone must start full, independent of the template's balance")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(2, 20*time.Millisecond)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("a new breaker must be closed and allowing")
+	}
+	b.Shed()
+	if b.State() != BreakerClosed {
+		t.Fatal("one shed below the threshold must not open the breaker")
+	}
+	b.Shed()
+	if b.State() != BreakerOpen {
+		t.Fatal("two consecutive sheds must open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("an open breaker must fail calls fast during the cooldown")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("after the cooldown one probe must be admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("breaker is %v after the cooldown; want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("only one probe may be in flight in half-open")
+	}
+	b.Shed() // the probe was shed: re-open
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("a shed probe must re-open the breaker")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("the next cooldown must admit another probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("a successful probe must close the breaker")
+	}
+	// A success resets the shed streak: one shed no longer opens it.
+	b.Shed()
+	if b.State() != BreakerClosed {
+		t.Fatal("the shed streak must reset on success")
+	}
+}
+
+// shedServer answers every delivery with the given status via the reply
+// channel, simulating a saturated server.
+func shedServer(t *testing.T, status Status, retryAfter time.Duration) (func(Request), chan Reply, *int) {
+	t.Helper()
+	replies := make(chan Reply, 16)
+	sends := new(int)
+	send := func(r Request) {
+		*sends++
+		replies <- Reply{Session: r.Session, Seq: r.Seq, Status: status, RetryAfter: retryAfter}
+	}
+	return send, replies, sends
+}
+
+func TestCallBudgetExhaustionReturnsErrOverloaded(t *testing.T) {
+	send, replies, sends := shedServer(t, StatusOverloaded, time.Millisecond)
+	opts := DefaultCallOptions(0)
+	opts.BusyBackoff = time.Millisecond
+	opts.Budget = NewRetryBudget(2, 0)
+	_, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v; want ErrOverloaded once the budget drains", err)
+	}
+	// First send plus two budgeted retries; the third shed had no token.
+	if *sends != 3 {
+		t.Fatalf("server saw %d sends; want 3 (1 initial + 2 budgeted retries)", *sends)
+	}
+}
+
+func TestCallBusyAlsoSpendsBudget(t *testing.T) {
+	send, replies, _ := shedServer(t, StatusBusy, 0)
+	opts := DefaultCallOptions(0)
+	opts.BusyBackoff = time.Millisecond
+	opts.Budget = NewRetryBudget(1, 0)
+	_, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("got %v; want ErrOverloaded: Busy retries draw from the same budget", err)
+	}
+}
+
+func TestCallWithoutBudgetKeepsRetrying(t *testing.T) {
+	replies := make(chan Reply, 16)
+	n := 0
+	send := func(r Request) {
+		n++
+		st := StatusOverloaded
+		if n > 5 {
+			st = StatusOK
+		}
+		replies <- Reply{Session: r.Session, Seq: r.Seq, Status: st, Payload: []byte("done")}
+	}
+	opts := DefaultCallOptions(0)
+	opts.BusyBackoff = time.Millisecond
+	out, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts)
+	if err != nil || string(out) != "done" {
+		t.Fatalf("nil budget must preserve unbounded retries: got %q, %v", out, err)
+	}
+}
+
+func TestCallBreakerOpensAndFailsFast(t *testing.T) {
+	send, replies, sends := shedServer(t, StatusOverloaded, 0)
+	opts := DefaultCallOptions(0)
+	opts.BusyBackoff = time.Millisecond
+	opts.Breaker = NewBreaker(2, time.Hour)
+	_, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("got %v; want ErrCircuitOpen after consecutive sheds", err)
+	}
+	if *sends != 2 {
+		t.Fatalf("server saw %d sends; want 2 before the breaker opened", *sends)
+	}
+	// Subsequent calls fail fast without touching the network.
+	_, err = Call(send, replies, Request{Session: "s", Seq: 2}, opts)
+	if !errors.Is(err, ErrCircuitOpen) || *sends != 2 {
+		t.Fatalf("got %v after %d sends; want a fast ErrCircuitOpen with no new send", err, *sends)
+	}
+}
+
+func TestCallHonorsRetryAfterHint(t *testing.T) {
+	const hint = 40 * time.Millisecond
+	replies := make(chan Reply, 16)
+	n := 0
+	send := func(r Request) {
+		n++
+		st := StatusOverloaded
+		if n > 1 {
+			st = StatusOK
+		}
+		replies <- Reply{Session: r.Session, Seq: r.Seq, Status: st, RetryAfter: hint}
+	}
+	opts := DefaultCallOptions(0)
+	opts.BusyBackoff = time.Millisecond // far below the hint
+	start := time.Now()
+	if _, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Fatalf("call completed in %v; want at least the %v RetryAfter hint honored", elapsed, hint)
+	}
+}
+
+func TestCallDeadlineExceededClientSide(t *testing.T) {
+	// A server that never answers: the deadline, not the resend loop,
+	// must end the call.
+	send := func(Request) {}
+	replies := make(chan Reply)
+	opts := DefaultCallOptions(0)
+	opts.ResendAfter = time.Millisecond
+	opts.Timeout = 5 * time.Millisecond
+	opts.TimeScale = 1
+	_, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v; want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestCallStampsDeadlineFromTimeout(t *testing.T) {
+	var got Request
+	replies := make(chan Reply, 1)
+	send := func(r Request) {
+		got = r
+		replies <- Reply{Session: r.Session, Seq: r.Seq, Status: StatusOK}
+	}
+	opts := DefaultCallOptions(0)
+	opts.Timeout = time.Second
+	opts.TimeScale = 1
+	if _, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got.Deadline.IsZero() {
+		t.Fatal("Timeout must stamp Request.Deadline for server-side shedding")
+	}
+	// Without a Timeout the envelope carries no deadline.
+	if _, err := Call(send, replies, Request{Session: "s", Seq: 2}, DefaultCallOptions(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Deadline.IsZero() {
+		t.Fatal("a call without Timeout must not stamp a deadline")
+	}
+}
+
+func TestStatusOverloadedString(t *testing.T) {
+	if s := StatusOverloaded.String(); s != "Overloaded" {
+		t.Fatalf("StatusOverloaded.String() = %q", s)
+	}
+}

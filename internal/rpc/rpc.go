@@ -42,6 +42,14 @@ const (
 	// StatusRejected means the request can never succeed (unknown method
 	// or session); resending is pointless.
 	StatusRejected
+	// StatusOverloaded means the server shed the request before doing any
+	// work on it — its admission queue was full, or the request's deadline
+	// had already expired. Unlike Busy (a transient server-side condition
+	// the client waits out), Overloaded is an explicit back-pressure
+	// signal: the reply carries a RetryAfter hint derived from the
+	// server's queue depth and service rate, and the client's retry
+	// budget, not its patience, decides whether to resend.
+	StatusOverloaded
 )
 
 func (s Status) String() string {
@@ -54,6 +62,8 @@ func (s Status) String() string {
 		return "Busy"
 	case StatusRejected:
 		return "Rejected"
+	case StatusOverloaded:
+		return "Overloaded"
 	}
 	return fmt.Sprintf("Status(%d)", byte(s))
 }
@@ -72,6 +82,15 @@ type Request struct {
 	HasDV bool
 	DV    dv.Vector
 	From  simnet.Addr // reply-to address
+	// Deadline, when non-zero, is the wall-clock instant after which the
+	// client no longer wants the result. The server checks it twice — at
+	// admission and again immediately before the receive log append — and
+	// sheds expired work with StatusOverloaded *before* any durable
+	// effect, so an expired request never owns a logged execution. It is
+	// wall-clock (not model time) because it bounds real work: every
+	// model latency the request would pay is realized as scaled wall
+	// sleeps on the same clock.
+	Deadline time.Time
 }
 
 // Reply answers a Request; (Session, Seq) match the request.
@@ -82,11 +101,33 @@ type Reply struct {
 	Payload []byte
 	HasDV   bool
 	DV      dv.Vector
+	// RetryAfter, on a StatusOverloaded reply, is the server's wall-clock
+	// hint for how long the client should wait before resending: queue
+	// backlog times the observed per-request service rate. Zero means the
+	// server offered no hint (the client falls back to its busy backoff).
+	RetryAfter time.Duration
 }
 
 // ErrRejected is returned by Call when the server permanently rejects the
 // request.
 var ErrRejected = errors.New("rpc: request rejected by server")
+
+// Overload-control outcomes of Call. All three are NON-terminal: the
+// request may or may not have executed server-side, so the caller must
+// not advance the session's sequence number — a later Call under the
+// same sequence number either resends the identical request or fetches
+// the buffered reply through the duplicate path.
+var (
+	// ErrOverloaded means the server shed the request (or kept answering
+	// Busy) and the client's retry budget ran out of tokens.
+	ErrOverloaded = errors.New("rpc: server overloaded and retry budget exhausted")
+	// ErrCircuitOpen means the per-server circuit breaker is open after
+	// consecutive sheds: the call failed fast without touching the network.
+	ErrCircuitOpen = errors.New("rpc: circuit breaker open")
+	// ErrDeadlineExceeded means the request's deadline passed client-side
+	// before a terminal reply arrived.
+	ErrDeadlineExceeded = errors.New("rpc: request deadline exceeded")
+)
 
 // Intra-domain control-plane envelopes. The domain control plane —
 // distributed flush requests, recovery broadcasts, anti-entropy
@@ -229,6 +270,26 @@ type CallOptions struct {
 	// semantics require unlimited resends; bounded attempts exist for
 	// tests that want to observe unreachable servers.
 	MaxAttempts int
+	// Timeout, when positive, is the model-time deadline for the whole
+	// call: Call stamps Request.Deadline with now + scaled(Timeout) so
+	// the server can shed the request once it expires, and returns
+	// ErrDeadlineExceeded once it passes client-side. Zero propagates no
+	// deadline (the pre-overload-control behaviour).
+	Timeout time.Duration
+	// Budget, when non-nil, is the token-bucket retry budget consulted
+	// before every resend triggered by a Busy or Overloaded reply: each
+	// such resend spends one token, each terminal outcome earns a
+	// fraction back, and an empty bucket turns the shed into
+	// ErrOverloaded instead of an unbounded retry storm. Budgets are
+	// shared: point every call at the same bucket per client↔server pair.
+	// Nil keeps the paper's unlimited Busy retries.
+	Budget *RetryBudget
+	// Breaker, when non-nil, is the per-server circuit breaker: Call
+	// consults it before every send (failing fast with ErrCircuitOpen
+	// while open), reports each shed and each terminal outcome to it,
+	// and lets its half-open state meter probe traffic after a cooldown.
+	// Share one breaker per target server across the client's sessions.
+	Breaker *Breaker
 }
 
 // DefaultCallOptions returns the options used throughout the experiments:
@@ -305,10 +366,19 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 	attempts := 0
 	busyStreak := 0
 	rng := opts.jitterSource(req.Session, req.Seq)
+	if opts.Timeout > 0 && req.Deadline.IsZero() {
+		req.Deadline = time.Now().Add(opts.scaled(opts.Timeout)) //mspr:wallclock deadlines bound real (scaled) work; server and client shed against the same clock
+	}
 	for {
 		attempts++
 		if opts.MaxAttempts > 0 && attempts > opts.MaxAttempts {
 			return nil, fmt.Errorf("rpc: no reply to %s/%d after %d attempts", req.Session, req.Seq, opts.MaxAttempts)
+		}
+		if !req.Deadline.IsZero() && time.Now().After(req.Deadline) { //mspr:wallclock deadline expiry check mirrors the server's shed points
+			return nil, ErrDeadlineExceeded
+		}
+		if opts.Breaker != nil && !opts.Breaker.Allow() {
+			return nil, ErrCircuitOpen
 		}
 		send(req)
 		deadline := simtime.NewTimer(opts.scaled(opts.ResendAfter))
@@ -326,14 +396,28 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 				deadline.Stop()
 				switch rep.Status {
 				case StatusOK:
+					opts.settle(true)
 					return rep.Payload, nil
 				case StatusAppError:
+					opts.settle(true)
 					return nil, &AppError{Msg: string(rep.Payload)}
-				case StatusBusy:
-					sleep(opts.busyDelay(busyStreak, rng))
+				case StatusBusy, StatusOverloaded:
+					opts.settle(false)
+					if opts.Budget != nil && !opts.Budget.Spend() {
+						return nil, ErrOverloaded
+					}
+					d := opts.busyDelay(busyStreak, rng)
+					if rep.Status == StatusOverloaded && rep.RetryAfter > d {
+						// The server's hint is a wall-clock estimate of when
+						// queue space frees up; honor it when it exceeds the
+						// client's own backoff.
+						d = rep.RetryAfter
+					}
+					sleep(d)
 					busyStreak++
 					break waiting // resend same request
 				case StatusRejected:
+					opts.settle(true)
 					return nil, ErrRejected
 				default:
 					return nil, fmt.Errorf("rpc: unknown reply status %v", rep.Status)
@@ -343,6 +427,24 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 				break waiting  // timed out: resend the same request
 			}
 		}
+	}
+}
+
+// settle reports a call outcome to the attached overload-control state:
+// terminal outcomes earn retry-budget tokens back and close the breaker;
+// sheds feed the breaker's consecutive-shed count.
+func (o CallOptions) settle(terminal bool) {
+	if terminal {
+		if o.Budget != nil {
+			o.Budget.Earn()
+		}
+		if o.Breaker != nil {
+			o.Breaker.Success()
+		}
+		return
+	}
+	if o.Breaker != nil {
+		o.Breaker.Shed()
 	}
 }
 
