@@ -314,8 +314,8 @@ func runOverloadStorm(c overloadConfig) int {
 // overloadSnapshot captures the process-wide overload counters so the
 // storm can report deltas (tests in the same process may have moved them).
 type overloadSnapshot struct {
-	admitted, admittedPriority, shedAtAdmission, shedExpired int64
-	budgetExhausted, breakerOpens                            int64
+	admitted, admittedPriority, priorityOverflow, shedAtAdmission, shedExpired int64
+	budgetExhausted, breakerOpens                                              int64
 }
 
 func snapshotOverload() overloadSnapshot {
@@ -323,6 +323,7 @@ func snapshotOverload() overloadSnapshot {
 	return overloadSnapshot{
 		admitted:         o.Admitted.Load(),
 		admittedPriority: o.AdmittedPriority.Load(),
+		priorityOverflow: o.PriorityOverflow.Load(),
 		shedAtAdmission:  o.ShedAtAdmission.Load(),
 		shedExpired:      o.ShedExpired.Load(),
 		budgetExhausted:  o.RetryBudgetExhausted.Load(),
@@ -334,6 +335,7 @@ func (s overloadSnapshot) sub(t overloadSnapshot) overloadSnapshot {
 	return overloadSnapshot{
 		admitted:         s.admitted - t.admitted,
 		admittedPriority: s.admittedPriority - t.admittedPriority,
+		priorityOverflow: s.priorityOverflow - t.priorityOverflow,
 		shedAtAdmission:  s.shedAtAdmission - t.shedAtAdmission,
 		shedExpired:      s.shedExpired - t.shedExpired,
 		budgetExhausted:  s.budgetExhausted - t.budgetExhausted,
@@ -346,8 +348,8 @@ func (s overloadSnapshot) sub(t overloadSnapshot) overloadSnapshot {
 // closed-loop storms (where sheds should be rare to absent).
 func printOverloadMetrics() {
 	o := &metrics.Overload
-	fmt.Printf("overload: admitted=%d admittedPriority=%d shedAtAdmission=%d shedExpired=%d retryBudgetExhausted=%d breakerOpens=%d\n",
-		o.Admitted.Load(), o.AdmittedPriority.Load(), o.ShedAtAdmission.Load(),
+	fmt.Printf("overload: admitted=%d admittedPriority=%d priorityOverflow=%d shedAtAdmission=%d shedExpired=%d retryBudgetExhausted=%d breakerOpens=%d\n",
+		o.Admitted.Load(), o.AdmittedPriority.Load(), o.PriorityOverflow.Load(), o.ShedAtAdmission.Load(),
 		o.ShedExpired.Load(), o.RetryBudgetExhausted.Load(), o.BreakerOpens.Load())
 	fmt.Printf("overload: queueDepthPeak=%d priorityDepthPeak=%d\n",
 		o.QueueDepthPeak.Load(), o.PriorityDepthPeak.Load())

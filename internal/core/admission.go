@@ -57,8 +57,14 @@ func (s *Server) admit(req rpc.Request) {
 			s.observeQueueDepth()
 			return
 		default:
-			// Priority lane full: recovery traffic may still ride the
-			// normal lane rather than being shed outright.
+			// Priority lane full: recovery traffic still rides the normal
+			// lane rather than being shed outright — executing late beats
+			// a shed that spends the client's retry budget on work the
+			// server WILL get to. But the fallback queues at the tail
+			// behind up to a full normal lane of new work, so the demotion
+			// is counted: priorityOverflow rising under load is the
+			// starvation signal storms and the chaos report watch for.
+			metrics.Overload.PriorityOverflow.Inc()
 		}
 	}
 	select {

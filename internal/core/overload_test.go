@@ -208,6 +208,40 @@ func TestPriorityLaneCarriesReplayClaims(t *testing.T) {
 	}
 }
 
+// TestPriorityOverflowFallsBackAndCounts: a priority-classified request
+// that finds the priority lane full is still admitted — at the tail of
+// the normal lane — and the demotion is counted on PriorityOverflow so
+// storms and the chaos report can detect priority starvation.
+func TestPriorityOverflowFallsBackAndCounts(t *testing.T) {
+	s := &Server{
+		cfg:    Config{Workers: 1},
+		reqCh:  make(chan rpc.Request, 4),
+		prioCh: make(chan rpc.Request), // unbuffered, no reader: always full
+	}
+	// The zero-value state is stateRecovering, so laneFor classifies the
+	// request as priority without touching the session table.
+	if s.laneFor(rpc.Request{Session: "p"}) != lanePriority {
+		t.Fatal("setup: a recovering server must classify requests as priority")
+	}
+	over0 := metrics.Overload.PriorityOverflow.Load()
+	adm0 := metrics.Overload.Admitted.Load()
+	s.admit(rpc.Request{Session: "p", Seq: 1})
+	if got := metrics.Overload.PriorityOverflow.Load() - over0; got != 1 {
+		t.Fatalf("PriorityOverflow delta = %d; want 1", got)
+	}
+	if got := metrics.Overload.Admitted.Load() - adm0; got != 1 {
+		t.Fatalf("Admitted delta = %d; want 1: the demoted request is admitted, not shed", got)
+	}
+	select {
+	case req := <-s.reqCh:
+		if req.Session != "p" || req.Seq != 1 {
+			t.Fatalf("normal lane holds %s/%d; want the demoted request p/1", req.Session, req.Seq)
+		}
+	default:
+		t.Fatal("the demoted request must land in the normal lane")
+	}
+}
+
 // TestRetryAfterHintScalesWithBacklog exercises the hint arithmetic on a
 // bare server: more backlog, larger hint, clamped at both ends.
 func TestRetryAfterHintScalesWithBacklog(t *testing.T) {

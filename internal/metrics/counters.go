@@ -204,6 +204,13 @@ type OverloadCounters struct {
 	// ShedAtAdmission counts requests shed with StatusOverloaded because
 	// both admission lanes were full at enqueue time.
 	ShedAtAdmission Counter
+	// PriorityOverflow counts priority-classified requests that found the
+	// priority lane full and fell back to the tail of the normal lane:
+	// still admitted, but queued behind up to a full normal lane of new
+	// work — exactly the priority the lane exists to provide, lost. A
+	// rising count under load is the priority-starvation signal the chaos
+	// gate watches for.
+	PriorityOverflow Counter
 	// ShedExpired counts requests shed because their propagated deadline
 	// had already passed — at admission or at the pre-append check —
 	// before any durable effect was taken on their behalf.

@@ -110,10 +110,12 @@ type Breaker struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
+	now       func() time.Time // injectable clock (tests); time.Now otherwise
 	state     BreakerState
 	sheds     int // consecutive sheds while closed
 	openedAt  time.Time
-	probing   bool // a half-open probe is in flight
+	probe     uint64 // nonzero: token of the half-open probe in flight
+	probeSeq  uint64 // last granted probe token
 }
 
 // NewBreaker returns a closed breaker that opens after threshold
@@ -127,7 +129,7 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = 50 * time.Millisecond
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now} //mspr:wallclock breaker cooldown meters real retry work, like RetryAfter hints
 }
 
 // Clone returns a fresh, closed breaker with the same parameters — how
@@ -135,32 +137,62 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 func (b *Breaker) Clone() *Breaker {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return NewBreaker(b.threshold, b.cooldown)
+	c := NewBreaker(b.threshold, b.cooldown)
+	c.now = b.now
+	return c
 }
 
 // Allow reports whether a call may be sent now. While open it returns
 // false until the cooldown elapses, then transitions to half-open and
 // admits a single probe; further calls fail fast until that probe
-// settles through Success or Shed.
-func (b *Breaker) Allow() bool {
+// settles through Success or Shed, or is released by ProbeAborted.
+//
+// The second result is nonzero when the caller was admitted AS the
+// probe. A probe-holder must not re-consult Allow for resends of the
+// same call (the resends are the probe), and must hand the token back
+// through ProbeAborted if the call ends without settling — otherwise
+// the slot leaks and the breaker wedges half-open, refusing every
+// future call.
+func (b *Breaker) Allow() (ok bool, probe uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, 0
 	case BreakerOpen:
-		if time.Since(b.openedAt) < b.cooldown { //mspr:wallclock breaker cooldown meters real retry work, like RetryAfter hints
-			return false
+		if b.now().Sub(b.openedAt) < b.cooldown { //mspr:wallclock breaker cooldown meters real retry work, like RetryAfter hints
+			return false, 0
 		}
 		b.state = BreakerHalfOpen
-		b.probing = true
-		return true
+		return true, b.grantProbe()
 	default: // BreakerHalfOpen
-		if b.probing {
-			return false
+		if b.probe != 0 {
+			return false, 0
 		}
-		b.probing = true
-		return true
+		return true, b.grantProbe()
+	}
+}
+
+// grantProbe hands out the half-open probe slot under b.mu, returning a
+// fresh token. Tokens are never reused, so a stale ProbeAborted from a
+// call whose slot has since been settled or re-granted cannot release
+// someone else's probe.
+func (b *Breaker) grantProbe() uint64 {
+	b.probeSeq++
+	b.probe = b.probeSeq
+	return b.probe
+}
+
+// ProbeAborted releases the half-open probe slot identified by probe
+// without recording an outcome: the probing call was abandoned (client
+// deadline, attempt bound, closed reply stream) before any reply
+// settled it. The breaker stays half-open and the next Allow admits a
+// fresh probe. Stale or zero tokens are ignored.
+func (b *Breaker) ProbeAborted(probe uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe != 0 && b.state == BreakerHalfOpen && b.probe == probe {
+		b.probe = 0
 	}
 }
 
@@ -171,7 +203,7 @@ func (b *Breaker) Success() {
 	defer b.mu.Unlock()
 	b.state = BreakerClosed
 	b.sheds = 0
-	b.probing = false
+	b.probe = 0
 }
 
 // Shed records a Busy/Overloaded reply. In the closed state it counts
@@ -194,9 +226,9 @@ func (b *Breaker) Shed() {
 // open transitions to the open state; callers hold b.mu.
 func (b *Breaker) open() {
 	b.state = BreakerOpen
-	b.openedAt = time.Now() //mspr:wallclock breaker cooldown meters real retry work, like RetryAfter hints
+	b.openedAt = b.now() //mspr:wallclock breaker cooldown meters real retry work, like RetryAfter hints
 	b.sheds = 0
-	b.probing = false
+	b.probe = 0
 	metrics.Overload.BreakerOpens.Inc()
 }
 

@@ -41,9 +41,21 @@ func TestRetryBudgetClone(t *testing.T) {
 	}
 }
 
+// fakeClock pins a Breaker to a manually advanced clock so state-machine
+// tests assert transitions without real sleeps (which flake on loaded
+// runners: a descheduled goroutine can outlast a 20 ms cooldown between
+// Shed and Allow).
+func fakeClock(b *Breaker) *time.Time {
+	now := time.Unix(1_000_000, 0)
+	b.now = func() time.Time { return now }
+	return &now
+}
+
 func TestBreakerStateMachine(t *testing.T) {
 	b := NewBreaker(2, 20*time.Millisecond)
-	if b.State() != BreakerClosed || !b.Allow() {
+	now := fakeClock(b)
+	allow := func() bool { ok, _ := b.Allow(); return ok }
+	if b.State() != BreakerClosed || !allow() {
 		t.Fatal("a new breaker must be closed and allowing")
 	}
 	b.Shed()
@@ -54,35 +66,81 @@ func TestBreakerStateMachine(t *testing.T) {
 	if b.State() != BreakerOpen {
 		t.Fatal("two consecutive sheds must open the breaker")
 	}
-	if b.Allow() {
+	if allow() {
 		t.Fatal("an open breaker must fail calls fast during the cooldown")
 	}
-	time.Sleep(25 * time.Millisecond)
-	if !b.Allow() {
-		t.Fatal("after the cooldown one probe must be admitted")
+	*now = now.Add(25 * time.Millisecond)
+	ok, probe := b.Allow()
+	if !ok || probe == 0 {
+		t.Fatal("after the cooldown one probe must be admitted, with a token")
 	}
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("breaker is %v after the cooldown; want half-open", b.State())
 	}
-	if b.Allow() {
+	if allow() {
 		t.Fatal("only one probe may be in flight in half-open")
 	}
 	b.Shed() // the probe was shed: re-open
-	if b.State() != BreakerOpen || b.Allow() {
+	if b.State() != BreakerOpen || allow() {
 		t.Fatal("a shed probe must re-open the breaker")
 	}
-	time.Sleep(25 * time.Millisecond)
-	if !b.Allow() {
+	*now = now.Add(25 * time.Millisecond)
+	if !allow() {
 		t.Fatal("the next cooldown must admit another probe")
 	}
 	b.Success()
-	if b.State() != BreakerClosed || !b.Allow() {
+	if b.State() != BreakerClosed || !allow() {
 		t.Fatal("a successful probe must close the breaker")
 	}
 	// A success resets the shed streak: one shed no longer opens it.
 	b.Shed()
 	if b.State() != BreakerClosed {
 		t.Fatal("the shed streak must reset on success")
+	}
+}
+
+func TestBreakerProbeAbortedReleasesSlot(t *testing.T) {
+	b := NewBreaker(1, 20*time.Millisecond)
+	now := fakeClock(b)
+	b.Shed() // open
+	*now = now.Add(25 * time.Millisecond)
+	_, probe := b.Allow()
+	if probe == 0 {
+		t.Fatal("setup: the post-cooldown call must hold the probe")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("setup: the probe slot must be taken")
+	}
+	b.ProbeAborted(probe)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("breaker is %v after an aborted probe; want still half-open", b.State())
+	}
+	ok, probe2 := b.Allow()
+	if !ok || probe2 == 0 {
+		t.Fatal("an aborted probe must free the slot for the next caller to probe")
+	}
+}
+
+func TestBreakerProbeAbortedIgnoresStaleToken(t *testing.T) {
+	b := NewBreaker(1, 20*time.Millisecond)
+	now := fakeClock(b)
+	b.Shed()
+	*now = now.Add(25 * time.Millisecond)
+	_, stale := b.Allow()
+	b.Success() // the probe settles; breaker closes
+	b.ProbeAborted(stale)
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker is %v; a stale abort must not disturb a settled breaker", b.State())
+	}
+	// Open again and grant a NEW probe: the old token must not release it.
+	b.Shed()
+	*now = now.Add(25 * time.Millisecond)
+	if ok, probe := b.Allow(); !ok || probe == 0 {
+		t.Fatal("setup: a fresh probe must be granted")
+	}
+	b.ProbeAborted(stale)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("a stale token must not release another call's live probe")
 	}
 }
 
@@ -164,6 +222,12 @@ func TestCallBreakerOpensAndFailsFast(t *testing.T) {
 }
 
 func TestCallHonorsRetryAfterHint(t *testing.T) {
+	// Capture the delays Call chooses instead of timing real sleeps:
+	// asserting on wall-clock elapsed flakes on loaded runners, and the
+	// contract under test is the CHOSEN delay, not the scheduler.
+	var slept []time.Duration
+	defer func(prev func(time.Duration)) { sleep = prev }(sleep)
+	sleep = func(d time.Duration) { slept = append(slept, d) }
 	const hint = 40 * time.Millisecond
 	replies := make(chan Reply, 16)
 	n := 0
@@ -177,12 +241,87 @@ func TestCallHonorsRetryAfterHint(t *testing.T) {
 	}
 	opts := DefaultCallOptions(0)
 	opts.BusyBackoff = time.Millisecond // far below the hint
-	start := time.Now()
 	if _, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts); err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed < hint {
-		t.Fatalf("call completed in %v; want at least the %v RetryAfter hint honored", elapsed, hint)
+	if len(slept) != 1 || slept[0] < hint {
+		t.Fatalf("call slept %v; want one backoff of at least the %v RetryAfter hint", slept, hint)
+	}
+}
+
+// halfOpenBreaker returns a breaker one Allow away from granting the
+// half-open probe (threshold 1, cooldown elapsed on its fake clock).
+func halfOpenBreaker() *Breaker {
+	b := NewBreaker(1, 20*time.Millisecond)
+	now := fakeClock(b)
+	b.Shed() // open
+	*now = now.Add(25 * time.Millisecond)
+	return b
+}
+
+func TestCallProbeSurvivesLostReply(t *testing.T) {
+	// The half-open probe's first reply is lost; the resend loop must
+	// treat the resend as part of the same probe, not re-consult Allow
+	// and be refused by its own in-flight probe (which would both fail
+	// the call and leak the slot, wedging the breaker half-open forever).
+	b := halfOpenBreaker()
+	replies := make(chan Reply, 16)
+	n := 0
+	send := func(r Request) {
+		n++
+		if n == 1 {
+			return // probe reply lost
+		}
+		replies <- Reply{Session: r.Session, Seq: r.Seq, Status: StatusOK, Payload: []byte("ok")}
+	}
+	opts := DefaultCallOptions(0)
+	opts.ResendAfter = time.Millisecond
+	opts.Breaker = b
+	out, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts)
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("probe resend got %q, %v; want success", out, err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker is %v after the probe finally succeeded; want closed", b.State())
+	}
+}
+
+func TestCallReleasesProbeOnMaxAttempts(t *testing.T) {
+	// A probe abandoned by the attempt bound (server never answers) must
+	// hand its slot back so the breaker can probe again.
+	b := halfOpenBreaker()
+	send := func(Request) {}
+	replies := make(chan Reply)
+	opts := DefaultCallOptions(0)
+	opts.ResendAfter = time.Millisecond
+	opts.MaxAttempts = 2
+	opts.Breaker = b
+	if _, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts); err == nil {
+		t.Fatal("setup: the call must fail after MaxAttempts")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("breaker is %v; want half-open after its probe was abandoned", b.State())
+	}
+	if ok, probe := b.Allow(); !ok || probe == 0 {
+		t.Fatal("the abandoned probe must release its slot: the next call probes afresh")
+	}
+}
+
+func TestCallReleasesProbeOnClientDeadline(t *testing.T) {
+	// Same leak via the client-side deadline exit.
+	b := halfOpenBreaker()
+	send := func(Request) {}
+	replies := make(chan Reply)
+	opts := DefaultCallOptions(0)
+	opts.ResendAfter = time.Millisecond
+	opts.Timeout = 5 * time.Millisecond
+	opts.TimeScale = 1
+	opts.Breaker = b
+	if _, err := Call(send, replies, Request{Session: "s", Seq: 1}, opts); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("setup: got %v; want ErrDeadlineExceeded", err)
+	}
+	if ok, probe := b.Allow(); !ok || probe == 0 {
+		t.Fatal("a deadline-abandoned probe must release its slot")
 	}
 }
 

@@ -369,16 +369,44 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 	if opts.Timeout > 0 && req.Deadline.IsZero() {
 		req.Deadline = time.Now().Add(opts.scaled(opts.Timeout)) //mspr:wallclock deadlines bound real (scaled) work; server and client shed against the same clock
 	}
+	// Every exit settles the overload-control bookkeeping exactly once,
+	// in one of three classes: terminal (OK/AppError/Rejected — earns
+	// budget back, closes the breaker), shed (Busy/Overloaded — feeds the
+	// breaker's shed count), or abandoned (attempt bound, client
+	// deadline, malformed reply, closed stream — no server outcome was
+	// learned, so no budget or shed accounting applies, but a held
+	// half-open probe slot MUST be handed back or the breaker wedges
+	// half-open, refusing every future call to this target).
+	var probeTok uint64
+	settle := func(terminal bool) {
+		probeTok = 0 // Success/Shed release the slot breaker-side
+		opts.settle(terminal)
+	}
+	abandon := func() {
+		if probeTok != 0 {
+			opts.Breaker.ProbeAborted(probeTok)
+			probeTok = 0
+		}
+	}
 	for {
 		attempts++
 		if opts.MaxAttempts > 0 && attempts > opts.MaxAttempts {
+			abandon()
 			return nil, fmt.Errorf("rpc: no reply to %s/%d after %d attempts", req.Session, req.Seq, opts.MaxAttempts)
 		}
 		if !req.Deadline.IsZero() && time.Now().After(req.Deadline) { //mspr:wallclock deadline expiry check mirrors the server's shed points
+			abandon()
 			return nil, ErrDeadlineExceeded
 		}
-		if opts.Breaker != nil && !opts.Breaker.Allow() {
-			return nil, ErrCircuitOpen
+		// While this call holds the half-open probe slot its resends ARE
+		// the probe: it must not re-consult Allow, which would refuse the
+		// call on account of its own in-flight probe.
+		if opts.Breaker != nil && probeTok == 0 {
+			ok, probe := opts.Breaker.Allow()
+			if !ok {
+				return nil, ErrCircuitOpen
+			}
+			probeTok = probe
 		}
 		send(req)
 		deadline := simtime.NewTimer(opts.scaled(opts.ResendAfter))
@@ -388,6 +416,7 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 			case rep, ok := <-replies:
 				if !ok {
 					deadline.Stop()
+					abandon()
 					return nil, errors.New("rpc: reply channel closed")
 				}
 				if rep.Session != req.Session || rep.Seq != req.Seq {
@@ -396,13 +425,13 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 				deadline.Stop()
 				switch rep.Status {
 				case StatusOK:
-					opts.settle(true)
+					settle(true)
 					return rep.Payload, nil
 				case StatusAppError:
-					opts.settle(true)
+					settle(true)
 					return nil, &AppError{Msg: string(rep.Payload)}
 				case StatusBusy, StatusOverloaded:
-					opts.settle(false)
+					settle(false)
 					if opts.Budget != nil && !opts.Budget.Spend() {
 						return nil, ErrOverloaded
 					}
@@ -417,9 +446,10 @@ func Call(send func(Request), replies <-chan Reply, req Request, opts CallOption
 					busyStreak++
 					break waiting // resend same request
 				case StatusRejected:
-					opts.settle(true)
+					settle(true)
 					return nil, ErrRejected
 				default:
+					abandon()
 					return nil, fmt.Errorf("rpc: unknown reply status %v", rep.Status)
 				}
 			case <-deadline.C:
@@ -448,9 +478,10 @@ func (o CallOptions) settle(terminal bool) {
 	}
 }
 
-func sleep(d time.Duration) {
-	simtime.Sleep(d)
-}
+// sleep is a package-level indirection over simtime.Sleep so tests can
+// observe the delays Call chooses instead of asserting on wall-clock
+// elapsed time.
+var sleep = simtime.Sleep
 
 // AppError is an application-level error returned by a service method and
 // transported in a reply.
